@@ -1,0 +1,77 @@
+// Command r3dbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-vs-measured numbers).
+//
+// Usage:
+//
+//	r3dbench            # full windows, all 19 benchmarks (minutes)
+//	r3dbench -fast      # small windows, 6-benchmark subset (seconds)
+//	r3dbench -only fig4 # one experiment (table2..table8, fig4..fig9,
+//	                    # sec32, sec33, sec34, sec35, sec4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"r3d/internal/experiment"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "small simulation windows and a benchmark subset")
+	only := flag.String("only", "", "run a single experiment")
+	flag.Parse()
+
+	q := experiment.Full()
+	if *fast {
+		q = experiment.Fast()
+	}
+	s := experiment.NewSession(q)
+
+	type exp struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	experiments := []exp{
+		{"table2", func() (fmt.Stringer, error) { return experiment.Table2(s) }},
+		{"table4", func() (fmt.Stringer, error) { return experiment.Table4(), nil }},
+		{"table5", func() (fmt.Stringer, error) { return experiment.Table5() }},
+		{"table6", func() (fmt.Stringer, error) { return experiment.Table6(), nil }},
+		{"table7", func() (fmt.Stringer, error) { return experiment.Table7(), nil }},
+		{"table8", func() (fmt.Stringer, error) { return experiment.Table8() }},
+		{"fig4", func() (fmt.Stringer, error) { return experiment.Figure4(s) }},
+		{"fig5", func() (fmt.Stringer, error) { return experiment.Figure5(s) }},
+		{"fig6", func() (fmt.Stringer, error) { return experiment.Figure6(s) }},
+		{"fig7", func() (fmt.Stringer, error) { return experiment.Figure7(s) }},
+		{"fig8", func() (fmt.Stringer, error) { return experiment.Figure8() }},
+		{"fig9", func() (fmt.Stringer, error) { return experiment.Figure9() }},
+		{"sec32", func() (fmt.Stringer, error) { return experiment.Section32Variants(s) }},
+		{"sec33", func() (fmt.Stringer, error) { return experiment.Section33(s) }},
+		{"sec34", func() (fmt.Stringer, error) { return experiment.Section34() }},
+		{"sec35", func() (fmt.Stringer, error) { return experiment.Section35(s) }},
+		{"sec4", func() (fmt.Stringer, error) { return experiment.Section4(s) }},
+		{"dfs", func() (fmt.Stringer, error) { return experiment.DFSAblation(s) }},
+		{"degraded", func() (fmt.Stringer, error) { return experiment.DegradedMode(s) }},
+		{"rvqsize", func() (fmt.Stringer, error) { return experiment.QueueSizing(s) }},
+		{"dtm", func() (fmt.Stringer, error) { return experiment.DTMStudy(s, 300) }},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		ran = true
+		r, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		fmt.Println(r)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,89 @@
+// Command r3dsim runs a single simulation configuration and prints
+// detailed statistics — the workhorse for exploring the design space
+// outside the canned experiments of r3dbench.
+//
+// Examples:
+//
+//	r3dsim -bench mcf -l2 2d-2a -n 500000
+//	r3dsim -bench gzip -rmt -maxghz 1.4 -n 300000
+//	r3dsim -bench swim -rmt -inject -leadrate 50 -n 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"r3d"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "workload name (see -list)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	l2 := flag.String("l2", "2d-a", "L2 organization: 2d-a, 2d-2a, 3d-2a")
+	n := flag.Uint64("n", 300_000, "instructions to simulate")
+	seed := flag.Int64("seed", 42, "workload generation seed")
+	rmt := flag.Bool("rmt", false, "attach the in-order checker (reliable processor)")
+	maxGHz := flag.Float64("maxghz", 2.0, "checker frequency cap (1.4 for the 90nm die)")
+	inject := flag.Bool("inject", false, "run a soft-error injection campaign (implies -rmt)")
+	leadRate := flag.Float64("leadrate", 50, "leading-core upsets per M cycles (with -inject)")
+	rfRate := flag.Float64("rfrate", 50, "trailer-RF upsets per M cycles (with -inject)")
+	node := flag.Int("node", 65, "technology node for injection MBU rates")
+	flag.Parse()
+
+	if *list {
+		for _, name := range r3d.Benchmarks() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	switch {
+	case *inject:
+		r, err := r3d.RunInjection(*bench, *n, *node, *leadRate, *rfRate, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printReliable(w, r.ReliableResult)
+		fmt.Fprintf(w, "lead upsets injected\t%d\n", r.LeadInjected)
+		fmt.Fprintf(w, "trailer RF upsets\t%d (MBUs %d)\n", r.RFInjected, r.MultiBitUpsets)
+		fmt.Fprintf(w, "coverage\t%.2f\n", r.Coverage)
+	case *rmt:
+		r, err := r3d.RunReliable(*bench, r3d.L2Org(*l2), *n, *maxGHz, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printReliable(w, r)
+	default:
+		r, err := r3d.RunBenchmark(*bench, r3d.L2Org(*l2), *n, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printLead(w, r)
+	}
+}
+
+func printLead(w *tabwriter.Writer, r r3d.Result) {
+	fmt.Fprintf(w, "benchmark\t%s\n", r.Benchmark)
+	fmt.Fprintf(w, "instructions\t%d\n", r.Instructions)
+	fmt.Fprintf(w, "cycles\t%d\n", r.Cycles)
+	fmt.Fprintf(w, "IPC\t%.3f\n", r.IPC)
+	fmt.Fprintf(w, "L2 misses / 10k instr\t%.2f\n", r.L2MissesPer10k)
+	fmt.Fprintf(w, "mean L2 hit latency\t%.1f cycles\n", r.L2HitLatency)
+	fmt.Fprintf(w, "branch mispredict rate\t%.2f%%\n", r.MispredictRate*100)
+}
+
+func printReliable(w *tabwriter.Writer, r r3d.ReliableResult) {
+	printLead(w, r.Result)
+	fmt.Fprintf(w, "checker IPC\t%.2f\n", r.CheckerIPC)
+	fmt.Fprintf(w, "mean checker frequency\t%.2f GHz\n", r.MeanCheckerFreqGHz)
+	fmt.Fprintf(w, "instructions checked\t%d\n", r.Checked)
+	fmt.Fprintf(w, "leading stall cycles\t%d\n", r.LeadStallCycles)
+	fmt.Fprintf(w, "errors detected/recovered/unrecovered\t%d/%d/%d\n",
+		r.ErrorsDetected, r.ErrorsRecovered, r.ErrorsUnrecovered)
+}

@@ -1,0 +1,78 @@
+// Command r3dtrace captures a workload's instruction window to a binary
+// trace file, or inspects an existing capture. Archived traces freeze
+// the exact inputs behind a published figure so later simulator versions
+// can be diffed against them.
+//
+//	r3dtrace -bench swim -n 1000000 -o swim.r3dt
+//	r3dtrace -inspect swim.r3dt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"r3d/internal/isa"
+	"r3d/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "workload to capture")
+	n := flag.Uint64("n", 500_000, "instructions to capture")
+	seed := flag.Int64("seed", 42, "generation seed")
+	out := flag.String("o", "", "output file (capture mode)")
+	inspect := flag.String("inspect", "", "trace file to summarize")
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		rd, err := trace.NewReader(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		summarize(rd)
+	case *out != "":
+		b, err := trace.ByName(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteTrace(f, trace.MustGenerator(b.Profile, *seed), *n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("captured %d instructions of %s to %s\n", *n, *bench, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func summarize(rd *trace.Reader) {
+	var counts [isa.NumOpClasses]uint64
+	var taken uint64
+	for i := uint64(0); i < rd.Count(); i++ {
+		in := rd.Next()
+		counts[in.Op]++
+		if in.Taken {
+			taken++
+		}
+	}
+	fmt.Printf("workload %s, %d instructions\n", rd.Name(), rd.Count())
+	for c := isa.OpClass(0); c < isa.NumOpClasses; c++ {
+		fmt.Printf("  %-12s %6.2f%%\n", c, float64(counts[c])/float64(rd.Count())*100)
+	}
+	branches := counts[isa.BranchCond] + counts[isa.BranchUncond]
+	if branches > 0 {
+		fmt.Printf("  taken-branch fraction %.1f%%\n", float64(taken)/float64(branches)*100)
+	}
+}

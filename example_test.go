@@ -1,0 +1,38 @@
+package r3d_test
+
+import (
+	"fmt"
+
+	"r3d"
+)
+
+// Running a workload on the plain out-of-order leading core.
+func ExampleRunBenchmark() {
+	res, err := r3d.RunBenchmark("gzip", r3d.L2Org2DA, 100_000, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gzip committed %d instructions\n", res.Instructions)
+	// Output: gzip committed 100000 instructions
+}
+
+// Running the full reliable processor: the leading core coupled to the
+// DFS-throttled in-order checker through the value queues.
+func ExampleRunReliable() {
+	res, err := r3d.RunReliable("twolf", r3d.L2Org2DA, 100_000, 2.0, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("errors on a clean run: %d\n", res.ErrorsDetected)
+	// Output: errors on a clean run: 0
+}
+
+// The Table 8 technology-scaling factors used for the 90 nm checker die.
+func ExampleTechScaling() {
+	dyn, lkg, err := r3d.TechScaling(90, 65)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dynamic x%.2f, leakage x%.2f\n", dyn, lkg)
+	// Output: dynamic x2.21, leakage x0.40
+}

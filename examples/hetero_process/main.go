@@ -1,0 +1,38 @@
+// Heterogeneous process: the paper's §4 study. Implement the checker die
+// in the older 90 nm process: dynamic power rises (×2.21) and the die
+// clocks no faster than 1.4 GHz, but leakage drops (×0.40), variability
+// shrinks, critical charge grows — and the checker barely notices the
+// frequency cap because its DFS demand sits well below it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"r3d"
+)
+
+func main() {
+	dyn, lkg, err := r3d.TechScaling(90, 65)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("90 nm vs 65 nm: dynamic ×%.2f, leakage ×%.2f (Table 8)\n\n", dyn, lkg)
+
+	const n = 300_000
+	for _, bench := range []string{"gzip", "mesa", "mcf"} {
+		free, err := r3d.RunReliable(bench, r3d.L2Org2DA, n, 2.0, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		capped, err := r3d.RunReliable(bench, r3d.L2Org2DA, n, 1.4, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slowdown := (1 - capped.IPC/free.IPC) * 100
+		fmt.Printf("%-8s checker mean %.2f GHz (65nm die) vs %.2f GHz (90nm die, 1.4 cap); leading slowdown %.2f%%\n",
+			bench, free.MeanCheckerFreqGHz, capped.MeanCheckerFreqGHz, slowdown)
+	}
+	fmt.Println("\nThe cap only binds on high-IPC phases; the paper reports a 3%")
+	fmt.Println("worst-case slowdown while gaining soft-error and timing-error margin.")
+}

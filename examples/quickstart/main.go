@@ -1,0 +1,36 @@
+// Quickstart: run one workload on the plain leading core, then on the
+// full reliable processor (leading core + 3D-stacked in-order checker),
+// and show that redundant multi-threading costs the leading thread
+// essentially nothing while the checker trails at a fraction of the
+// clock — the paper's §2 result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"r3d"
+)
+
+func main() {
+	const n = 300_000
+
+	plain, err := r3d.RunBenchmark("gzip", r3d.L2Org2DA, n, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain core:    IPC %.3f, %.2f L2 misses/10k, %.1f%% mispredicts\n",
+		plain.IPC, plain.L2MissesPer10k, plain.MispredictRate*100)
+
+	reliable, err := r3d.RunReliable("gzip", r3d.L2Org2DA, n, 2.0, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reliable pair: IPC %.3f (leading), checker IPC %.2f at mean %.2f GHz\n",
+		reliable.IPC, reliable.CheckerIPC, reliable.MeanCheckerFreqGHz)
+	fmt.Printf("               %d instructions verified, %d leading stalls, %d errors\n",
+		reliable.Checked, reliable.LeadStallCycles, reliable.ErrorsDetected)
+
+	slowdown := (1 - reliable.IPC/plain.IPC) * 100
+	fmt.Printf("checker overhead on the leading thread: %.2f%% (paper: ≈0%%)\n", slowdown)
+}

@@ -1,0 +1,3 @@
+module r3d
+
+go 1.22

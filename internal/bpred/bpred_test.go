@@ -1,0 +1,154 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	c = c.update(false)
+	if c != 0 {
+		t.Errorf("counter must saturate at 0, got %d", c)
+	}
+	c = counter(3)
+	c = c.update(true)
+	if c != 3 {
+		t.Errorf("counter must saturate at 3, got %d", c)
+	}
+	if counter(1).taken() || !counter(2).taken() {
+		t.Error("taken threshold wrong")
+	}
+}
+
+func TestAlwaysTakenBranchLearned(t *testing.T) {
+	p := New()
+	pc := uint64(0x1000)
+	for i := 0; i < 8; i++ {
+		pred := p.Lookup(pc)
+		p.Update(pc, pred, true)
+	}
+	if !p.Lookup(pc) {
+		t.Error("always-taken branch should be predicted taken after warmup")
+	}
+	s := p.Stats()
+	if s.Lookups == 0 {
+		t.Error("lookups not counted")
+	}
+}
+
+func TestAlternatingBranchLearnedByHistory(t *testing.T) {
+	// A strictly alternating branch defeats bimodal but is perfectly
+	// predictable with 12 bits of local history; the tournament should
+	// converge to near-zero mispredictions.
+	p := New()
+	pc := uint64(0x2000)
+	taken := false
+	warm := 4000
+	for i := 0; i < warm; i++ {
+		pred := p.Lookup(pc)
+		p.Update(pc, pred, taken)
+		taken = !taken
+	}
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		pred := p.Lookup(pc)
+		if pred != taken {
+			miss++
+		}
+		p.Update(pc, pred, taken)
+		taken = !taken
+	}
+	if miss > 10 {
+		t.Errorf("alternating branch mispredicted %d/1000 after warmup", miss)
+	}
+}
+
+func TestRandomBranchMispredictsHalf(t *testing.T) {
+	p := New()
+	r := rand.New(rand.NewSource(7))
+	pc := uint64(0x3000)
+	for i := 0; i < 20000; i++ {
+		taken := r.Intn(2) == 0
+		pred := p.Lookup(pc)
+		p.Update(pc, pred, taken)
+	}
+	rate := p.Stats().MispredictRate()
+	if rate < 0.4 || rate > 0.6 {
+		t.Errorf("random branch mispredict rate = %.3f, want ≈0.5", rate)
+	}
+}
+
+func TestBiasedBranchMispredictRate(t *testing.T) {
+	// A branch taken 90% of the time (random) should mispredict at
+	// roughly the bias complement once the bimodal side captures it.
+	p := New()
+	r := rand.New(rand.NewSource(11))
+	pc := uint64(0x4000)
+	for i := 0; i < 30000; i++ {
+		taken := r.Float64() < 0.9
+		pred := p.Lookup(pc)
+		p.Update(pc, pred, taken)
+	}
+	rate := p.Stats().MispredictRate()
+	if rate > 0.2 {
+		t.Errorf("90%%-biased branch mispredict rate = %.3f, want ≤0.2", rate)
+	}
+}
+
+func TestMispredictRateEmpty(t *testing.T) {
+	var s PredStats
+	if s.MispredictRate() != 0 {
+		t.Error("empty stats should have rate 0")
+	}
+}
+
+func TestBTBHitAfterUpdate(t *testing.T) {
+	b := NewBTB()
+	if _, hit := b.Lookup(0x100); hit {
+		t.Error("cold BTB should miss")
+	}
+	b.Update(0x100, 0x2000)
+	tgt, hit := b.Lookup(0x100)
+	if !hit || tgt != 0x2000 {
+		t.Errorf("BTB lookup = (%#x,%v), want (0x2000,true)", tgt, hit)
+	}
+	// Refresh target.
+	b.Update(0x100, 0x3000)
+	tgt, hit = b.Lookup(0x100)
+	if !hit || tgt != 0x3000 {
+		t.Errorf("BTB refresh failed: (%#x,%v)", tgt, hit)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	b := NewBTB()
+	// Three PCs mapping to the same set (stride = BTBSets*4) exceed the
+	// 2 ways; the LRU entry must be evicted.
+	pcs := []uint64{0x100, 0x100 + BTBSets*4, 0x100 + 2*BTBSets*4}
+	b.Update(pcs[0], 1)
+	b.Update(pcs[1], 2)
+	// Touch pcs[0] so pcs[1] becomes LRU.
+	if _, hit := b.Lookup(pcs[0]); !hit {
+		t.Fatal("expected hit")
+	}
+	b.Update(pcs[2], 3)
+	if _, hit := b.Lookup(pcs[1]); hit {
+		t.Error("LRU entry should have been evicted")
+	}
+	if tgt, hit := b.Lookup(pcs[0]); !hit || tgt != 1 {
+		t.Error("MRU entry should have survived")
+	}
+	if tgt, hit := b.Lookup(pcs[2]); !hit || tgt != 3 {
+		t.Error("new entry should be present")
+	}
+}
+
+func TestBTBMissCounting(t *testing.T) {
+	b := NewBTB()
+	b.Lookup(0x1)
+	b.Lookup(0x2)
+	if b.Stats().BTBMisses != 2 {
+		t.Errorf("BTBMisses = %d, want 2", b.Stats().BTBMisses)
+	}
+}

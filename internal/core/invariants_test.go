@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTrafficAccounting checks the queue-traffic invariants: every
+// committed instruction transmits one register-value bundle, and loads,
+// stores and branches are disjoint subsets of it.
+func TestTrafficAccounting(t *testing.T) {
+	s := newSystem(t, "bzip2", 31)
+	st := s.Run(60000)
+	tr := st.Traffic
+	if tr.LoadValues+tr.StoreValues+tr.BranchOutcomes > tr.RegisterValues {
+		t.Errorf("queue subsets exceed the RVQ stream: %+v", tr)
+	}
+	if tr.RegisterValues != s.Lead().Stats().Instructions {
+		t.Errorf("RVQ pushes %d != committed %d", tr.RegisterValues, s.Lead().Stats().Instructions)
+	}
+}
+
+// TestWallClockConsistency checks that wall time equals cycles times the
+// leading period and that the residency histogram accounts for all of
+// it.
+func TestWallClockConsistency(t *testing.T) {
+	s := newSystem(t, "gap", 32)
+	st := s.Run(50000)
+	wantPs := float64(st.Cycles) * 500.0
+	if math.Abs(st.WallTimePs-wantPs) > 1 {
+		t.Errorf("wall time %.0f ps, want cycles×500 = %.0f", st.WallTimePs, wantPs)
+	}
+	if math.Abs(s.FreqResidency().Total()-st.WallTimePs) > 1 {
+		t.Errorf("histogram mass %.0f != wall time %.0f", s.FreqResidency().Total(), st.WallTimePs)
+	}
+}
+
+// TestRecoveryStallAccounting checks that every recovered error charges
+// the configured stall penalty.
+func TestRecoveryStallAccounting(t *testing.T) {
+	s := newSystem(t, "gzip", 33)
+	s.Run(5000)
+	s.CorruptNextLeadResult(0xff)
+	st := s.Run(40000)
+	if st.ErrorsRecovered == 0 {
+		t.Fatal("no recovery happened")
+	}
+	want := st.ErrorsRecovered * uint64(Default(s.cfg.Lead).RecoveryPenaltyCycles)
+	if st.RecoveryStalls != want {
+		t.Errorf("recovery stalls %d, want %d (%d recoveries × penalty)",
+			st.RecoveryStalls, want, st.ErrorsRecovered)
+	}
+}
+
+// TestQueueOccupancyNeverExceedsCapacity steps a system manually and
+// asserts the RVQ bound holds every cycle.
+func TestQueueOccupancyNeverExceedsCapacity(t *testing.T) {
+	s := newSystem(t, "mesa", 34)
+	s.Lead().SetFetchBudget(1 << 60)
+	for i := 0; i < 30000; i++ {
+		s.Step()
+		if occ := s.RVQOccupancy(); occ < 0 || occ > DefaultRVQSize {
+			t.Fatalf("cycle %d: RVQ occupancy %d out of bounds", i, occ)
+		}
+	}
+}
+
+// TestDrainBarrier checks the interrupt barrier: after Drain the
+// checker has verified everything the leading core committed, and the
+// barrier latency is bounded by the queue capacity over the checker's
+// worst-case throughput.
+func TestDrainBarrier(t *testing.T) {
+	s := newSystem(t, "swim", 36)
+	s.Lead().SetFetchBudget(1 << 60)
+	for i := 0; i < 20000; i++ {
+		s.Step()
+	}
+	lat := s.Drain()
+	if s.RVQOccupancy() != 0 {
+		t.Fatal("Drain left entries in the RVQ")
+	}
+	if got, want := s.Checker().Stats().Checked, s.Lead().Stats().Instructions; got != want {
+		t.Errorf("checked %d != committed %d after barrier", got, want)
+	}
+	// At peak frequency the checker clears ≥1 instruction per leading
+	// cycle, so the barrier is bounded by the RVQ capacity.
+	if lat > DefaultRVQSize {
+		t.Errorf("barrier latency %d cycles exceeds the RVQ capacity bound", lat)
+	}
+}
+
+// TestNoEmergencyRampAllowsStalls verifies the Discussion-paragraph
+// aggressive heuristic: without the emergency ramp, a demanding workload
+// stalls the leading core more.
+func TestNoEmergencyRampAllowsStalls(t *testing.T) {
+	run := func(emergency bool) SystemStats {
+		s := newSystem(t, "mesa", 35)
+		s.cfg.EmergencyRamp = emergency
+		s.cfg.RVQLo, s.cfg.RVQHi = 150, 195
+		return s.Run(60000)
+	}
+	with := run(true)
+	without := run(false)
+	if without.LeadStallCycles <= with.LeadStallCycles {
+		t.Errorf("disabling the emergency ramp should increase stalls: %d vs %d",
+			without.LeadStallCycles, with.LeadStallCycles)
+	}
+}

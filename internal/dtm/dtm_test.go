@@ -1,0 +1,145 @@
+package dtm
+
+import (
+	"testing"
+
+	"r3d/internal/thermal"
+)
+
+func coarse3D() thermal.Config {
+	cfg := thermal.Stack3D(7.2, 7.2)
+	cfg.Nx, cfg.Ny = 10, 10
+	return cfg
+}
+
+func grid(cfg thermal.Config, totalW float64) [][]float64 {
+	g := make([][]float64, cfg.Ny)
+	per := totalW / float64(cfg.Nx*cfg.Ny)
+	for y := range g {
+		g[y] = make([]float64, cfg.Nx)
+		for x := range g[y] {
+			g[y][x] = per
+		}
+	}
+	return g
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Policy{
+		{TriggerC: 80, ReleaseC: 85, StepGHz: 0.1, MinGHz: 1, MaxGHz: 2, IntervalMs: 1},
+		{TriggerC: 85, ReleaseC: 82, StepGHz: 0, MinGHz: 1, MaxGHz: 2, IntervalMs: 1},
+		{TriggerC: 85, ReleaseC: 82, StepGHz: 0.1, MinGHz: 2, MaxGHz: 1, IntervalMs: 1},
+		{TriggerC: 85, ReleaseC: 82, StepGHz: 0.1, MinGHz: 1, MaxGHz: 2, IntervalMs: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid policy accepted", i)
+		}
+		if _, err := New(coarse3D(), p); err == nil {
+			t.Errorf("case %d: New accepted invalid policy", i)
+		}
+	}
+}
+
+func TestCoolChipNeverThrottles(t *testing.T) {
+	cfg := coarse3D()
+	c, err := New(cfg, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 W total stays far below the 85 °C trigger.
+	if err := c.RunPhase(Phase{DurationMs: 15, Grids: [][][]float64{grid(cfg, 20), nil}}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.ThrottledMs != 0 || s.Interventions != 0 {
+		t.Errorf("cool chip throttled: %+v", s)
+	}
+	if s.MeanFreqGHz != DefaultPolicy().MaxGHz {
+		t.Errorf("mean frequency %.2f, want the 2 GHz maximum", s.MeanFreqGHz)
+	}
+	if s.PerfLossPct(2.0) != 0 {
+		t.Error("no throttling must mean no performance loss")
+	}
+}
+
+func TestHotChipThrottlesAndCaps(t *testing.T) {
+	cfg := coarse3D()
+	// The trigger sits within reach of a 140 W burst inside a 120 ms
+	// window (the sink's ≈0.2 s time constant gates how fast the chip
+	// heats; a production 85 °C trigger needs seconds of simulated time).
+	pol := Policy{TriggerC: 70, ReleaseC: 67, StepGHz: 0.1, MinGHz: 1.0, MaxGHz: 2.0, IntervalMs: 1}
+	c, err := New(cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase := Phase{DurationMs: 120, Grids: [][][]float64{grid(cfg, 90), grid(cfg, 50)}}
+	if err := c.RunPhase(phase); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Interventions == 0 || s.ThrottledMs == 0 {
+		t.Fatalf("hot chip never throttled: %+v", s)
+	}
+	if s.MeanFreqGHz >= 2.0 {
+		t.Error("throttling must reduce the mean frequency")
+	}
+	if s.PerfLossPct(2.0) <= 0 {
+		t.Error("throttling must cost performance")
+	}
+	// The controller must regulate near the trigger band once settled.
+	if s.FinalC > pol.TriggerC+6 {
+		t.Errorf("regulation failed: settled at %.1f °C with a %.0f °C trigger", s.FinalC, pol.TriggerC)
+	}
+}
+
+func TestThrottleRecoversAfterHotPhase(t *testing.T) {
+	cfg := coarse3D()
+	// A low trigger keeps the test inside short transient windows (the
+	// sink's thermal mass takes ~0.2 s to approach steady state).
+	pol := Policy{TriggerC: 58, ReleaseC: 55, StepGHz: 0.1, MinGHz: 1.0, MaxGHz: 2.0, IntervalMs: 1}
+	c, err := New(cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunPhase(Phase{DurationMs: 80, Grids: [][][]float64{grid(cfg, 80), grid(cfg, 40)}}); err != nil {
+		t.Fatal(err)
+	}
+	hot := c.Stats()
+	if err := c.RunPhase(Phase{DurationMs: 120, Grids: [][][]float64{grid(cfg, 10), nil}}); err != nil {
+		t.Fatal(err)
+	}
+	all := c.Stats()
+	// Mean frequency during the recovery window must exceed the hot
+	// phase's mean, and the chip must end the run unthrottled.
+	coolMean := (all.MeanFreqGHz*all.TimeMs - hot.MeanFreqGHz*hot.TimeMs) / (all.TimeMs - hot.TimeMs)
+	if coolMean <= hot.MeanFreqGHz {
+		t.Errorf("recovery mean %.2f GHz should exceed hot-phase mean %.2f", coolMean, hot.MeanFreqGHz)
+	}
+	if c.FreqGHz() != pol.MaxGHz {
+		t.Errorf("chip should end unthrottled, at %.2f GHz", c.FreqGHz())
+	}
+}
+
+func TestRunPhaseValidation(t *testing.T) {
+	c, _ := New(coarse3D(), DefaultPolicy())
+	if err := c.RunPhase(Phase{DurationMs: 0}); err == nil {
+		t.Error("zero duration must error")
+	}
+	if err := c.RunPhase(Phase{DurationMs: 1}); err == nil {
+		t.Error("missing grids must error")
+	}
+}
+
+func TestResidencyMassMatchesTime(t *testing.T) {
+	cfg := coarse3D()
+	c, _ := New(cfg, DefaultPolicy())
+	c.RunPhase(Phase{DurationMs: 12, Grids: [][][]float64{grid(cfg, 30), nil}})
+	s := c.Stats()
+	if got := s.Residency.Total(); got != s.TimeMs {
+		t.Errorf("residency mass %.2f != time %.2f", got, s.TimeMs)
+	}
+}

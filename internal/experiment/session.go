@@ -1,0 +1,271 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation. Each experiment is a function from a shared Session (which
+// caches simulation runs so, e.g., Figure 5 and Figure 6 reuse the same
+// per-benchmark windows) to a typed result with a String() renderer that
+// prints rows in the paper's format. See DESIGN.md §4 for the
+// experiment ↔ module index and EXPERIMENTS.md for paper-vs-measured
+// numbers.
+package experiment
+
+import (
+	"fmt"
+
+	"r3d/internal/core"
+	"r3d/internal/nuca"
+	"r3d/internal/ooo"
+	"r3d/internal/power"
+	"r3d/internal/thermal"
+	"r3d/internal/trace"
+)
+
+// Quality selects simulation window sizes: Fast for tests, Full for the
+// r3dbench tool.
+type Quality struct {
+	WarmupInsts  uint64
+	MeasureInsts uint64
+	// Benchmarks restricts the suite (nil = all 19).
+	Benchmarks []string
+	// ThermalTolC / ThermalMaxIters bound the SOR solver.
+	ThermalTolC     float64
+	ThermalMaxIters int
+	Seed            int64
+}
+
+// Fast returns a test-sized quality (≈6× smaller windows, 6-benchmark
+// subset).
+func Fast() Quality {
+	return Quality{
+		WarmupInsts:  60_000,
+		MeasureInsts: 120_000,
+		Benchmarks:   []string{"gzip", "mcf", "mesa", "swim", "twolf", "art"},
+		ThermalTolC:  1e-4, ThermalMaxIters: 40_000,
+		Seed: 42,
+	}
+}
+
+// Full returns the quality used for the published numbers in
+// EXPERIMENTS.md: all 19 benchmarks, 400k-instruction warmup and
+// measurement windows (the paper used 100M-instruction Simpoint
+// windows; see EXPERIMENTS.md for the window-length caveats).
+func Full() Quality {
+	return Quality{
+		WarmupInsts:  1_200_000,
+		MeasureInsts: 400_000,
+		ThermalTolC:  2e-5, ThermalMaxIters: 100_000,
+		Seed: 42,
+	}
+}
+
+// Suite returns the benchmark list for this quality.
+func (q Quality) Suite() []trace.Benchmark {
+	all := trace.Suite()
+	if q.Benchmarks == nil {
+		return all
+	}
+	var out []trace.Benchmark
+	for _, name := range q.Benchmarks {
+		for _, b := range all {
+			if b.Profile.Name == name {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// LeadRun is one cached leading-core window.
+type LeadRun struct {
+	Bench   string
+	Stats   ooo.Stats
+	L2Stats nuca.Stats
+	Pred    float64 // mispredict rate
+}
+
+// IPC returns the measured IPC.
+func (r LeadRun) IPC() float64 { return r.Stats.IPC() }
+
+// RMTRun is one cached RMT window.
+type RMTRun struct {
+	Bench         string
+	Lead          ooo.Stats
+	Sys           core.SystemStats
+	CheckerIPC    float64
+	CheckerUtil   float64 // issued / (cycles × width)
+	MeanFreqGHz   float64
+	FreqFractions []float64 // 10 bins of 0.1·f
+}
+
+// Session caches runs across experiments.
+type Session struct {
+	Q       Quality
+	leads   map[string]LeadRun
+	rmts    map[string]RMTRun
+	solvers map[string]*thermal.Solver
+}
+
+// NewSession creates a session.
+func NewSession(q Quality) *Session {
+	return &Session{Q: q, leads: map[string]LeadRun{}, rmts: map[string]RMTRun{}}
+}
+
+// L2Config names the paper's cache organizations for lookups.
+type L2Config int
+
+// The four chip models of §3.3.
+const (
+	L2DA  L2Config = iota // 6 MB, 6 banks (2d-a and 3d-checker)
+	L2D2A                 // 15 MB, single die (2d-2a)
+	L3D2A                 // 15 MB, stacked banks (3d-2a)
+)
+
+func (c L2Config) nucaConfig(p nuca.Policy) nuca.Config {
+	switch c {
+	case L2D2A:
+		return nuca.Config2D2A(p)
+	case L3D2A:
+		return nuca.Config3D2A(p)
+	default:
+		return nuca.Config2DA(p)
+	}
+}
+
+func (c L2Config) String() string {
+	switch c {
+	case L2D2A:
+		return "2d-2a"
+	case L3D2A:
+		return "3d-2a"
+	default:
+		return "2d-a"
+	}
+}
+
+// Leading runs (or returns the cached) standalone leading-core window.
+// memLatency overrides the 300-cycle memory latency when positive (the
+// §3.3 frequency-scaling study).
+func (s *Session) Leading(bench string, l2c L2Config, policy nuca.Policy, memLatency int) (LeadRun, error) {
+	key := fmt.Sprintf("%s/%v/%v/%d", bench, l2c, policy, memLatency)
+	if r, ok := s.leads[key]; ok {
+		return r, nil
+	}
+	b, err := trace.ByName(bench)
+	if err != nil {
+		return LeadRun{}, err
+	}
+	cfg := ooo.Default()
+	if memLatency > 0 {
+		cfg.MemLatencyCycles = memLatency
+	}
+	g := trace.MustGenerator(b.Profile, s.Q.Seed)
+	l2 := nuca.New(l2c.nucaConfig(policy))
+	c, err := ooo.New(cfg, g, l2)
+	if err != nil {
+		return LeadRun{}, err
+	}
+	c.Run(s.Q.WarmupInsts)
+	c.ResetStats()
+	c.SetFetchBudget(^uint64(0))
+	for c.Stats().Instructions < s.Q.MeasureInsts {
+		c.Step(cfg.CommitWidth)
+	}
+	r := LeadRun{
+		Bench:   bench,
+		Stats:   c.Stats(),
+		L2Stats: l2.Stats(),
+		Pred:    c.PredictorStats().MispredictRate(),
+	}
+	s.leads[key] = r
+	return r, nil
+}
+
+// RMT runs (or returns the cached) coupled leading+checker window.
+// maxCheckerGHz caps the checker's DFS range (2.0 homogeneous, 1.4 for
+// the §4 90 nm die).
+func (s *Session) RMT(bench string, l2c L2Config, maxCheckerGHz float64) (RMTRun, error) {
+	key := fmt.Sprintf("%s/%v/%.2f", bench, l2c, maxCheckerGHz)
+	if r, ok := s.rmts[key]; ok {
+		return r, nil
+	}
+	b, err := trace.ByName(bench)
+	if err != nil {
+		return RMTRun{}, err
+	}
+	g := trace.MustGenerator(b.Profile, s.Q.Seed)
+	l2 := nuca.New(l2c.nucaConfig(nuca.DistributedSets))
+	lead, err := ooo.New(ooo.Default(), g, l2)
+	if err != nil {
+		return RMTRun{}, err
+	}
+	cfg := core.Default(ooo.Default())
+	cfg.CheckerMaxFreqGHz = maxCheckerGHz
+	sys, err := core.New(cfg, lead)
+	if err != nil {
+		return RMTRun{}, err
+	}
+	sys.Run(s.Q.WarmupInsts)
+	sys.ResetStats()
+	lead.SetFetchBudget(^uint64(0))
+	for lead.Stats().Instructions < s.Q.MeasureInsts {
+		sys.Step()
+	}
+	cs := sys.Checker().Stats()
+	util := 0.0
+	if cs.Cycles > 0 {
+		util = float64(cs.Issued) / float64(cs.Cycles) / float64(cfg.Checker.Width)
+	}
+	r := RMTRun{
+		Bench:         bench,
+		Lead:          lead.Stats(),
+		Sys:           sys.Stats(),
+		CheckerIPC:    cs.IPC(),
+		CheckerUtil:   util,
+		MeanFreqGHz:   sys.MeanCheckerFreqGHz(),
+		FreqFractions: sys.FreqResidency().Fractions(),
+	}
+	s.rmts[key] = r
+	return r, nil
+}
+
+// SuiteActivity returns the per-unit activity factors and the mean L2
+// per-bank access rate averaged over the quality's suite, for a given
+// L2 organization — the inputs to the thermal experiments.
+func (s *Session) SuiteActivity(l2c L2Config) (power.Activity, float64, error) {
+	suite := s.Q.Suite()
+	sum := power.Activity{}
+	var l2Rate float64
+	for _, b := range suite {
+		r, err := s.Leading(b.Profile.Name, l2c, nuca.DistributedSets, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		act := power.ActivityFromStats(r.Stats, ooo.Default())
+		for k, v := range act {
+			sum[k] += v
+		}
+		banks := len(r.L2Stats.BankAccesses)
+		if cycles := r.Stats.Activity.Cycles; cycles > 0 && banks > 0 {
+			l2Rate += float64(r.L2Stats.Accesses) / float64(cycles) / float64(banks)
+		}
+	}
+	n := float64(len(suite))
+	for k := range sum {
+		sum[k] /= n
+	}
+	return sum, l2Rate / n, nil
+}
+
+// BenchActivity returns one benchmark's activity factors and per-bank L2
+// access rate.
+func (s *Session) BenchActivity(bench string, l2c L2Config) (power.Activity, float64, error) {
+	r, err := s.Leading(bench, l2c, nuca.DistributedSets, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	act := power.ActivityFromStats(r.Stats, ooo.Default())
+	banks := len(r.L2Stats.BankAccesses)
+	rate := 0.0
+	if cycles := r.Stats.Activity.Cycles; cycles > 0 && banks > 0 {
+		rate = float64(r.L2Stats.Accesses) / float64(cycles) / float64(banks)
+	}
+	return act, rate, nil
+}

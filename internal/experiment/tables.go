@@ -1,0 +1,194 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"r3d/internal/floorplan"
+	"r3d/internal/noc"
+	"r3d/internal/ooo"
+	"r3d/internal/pipedepth"
+	"r3d/internal/power"
+	"r3d/internal/tech"
+	"r3d/internal/wire"
+)
+
+// Table2Result reproduces the paper's block area and power inventory,
+// with the measured (simulated) leading-core average next to the quoted
+// 35 W.
+type Table2Result struct {
+	LeadingCoreAreaMM2    float64
+	LeadingCoreAvgW       float64 // measured over the suite
+	CheckerAreaMM2        float64
+	CheckerRangeW         [2]float64
+	L2BankAreaMM2         float64
+	L2BankDynW, L2BankStW float64
+	RouterAreaMM2         float64
+	RouterPowerW          float64
+}
+
+// Table2 regenerates Table 2.
+func Table2(s *Session) (Table2Result, error) {
+	act, _, err := s.SuiteActivity(L2DA)
+	if err != nil {
+		return Table2Result{}, err
+	}
+	return Table2Result{
+		LeadingCoreAreaMM2: floorplan.LeadingCoreAreaMM2,
+		LeadingCoreAvgW:    power.LeadingCorePower(act, 1, 1).Total(),
+		CheckerAreaMM2:     floorplan.CheckerAreaMM2,
+		CheckerRangeW:      [2]float64{power.CheckerOptimisticW, power.CheckerPessimisticW},
+		L2BankAreaMM2:      floorplan.L2BankAreaMM2,
+		L2BankDynW:         power.L2BankDynamicW,
+		L2BankStW:          power.L2BankStaticW,
+		RouterAreaMM2:      noc.RouterAreaMM2,
+		RouterPowerW:       noc.RouterPowerW,
+	}, nil
+}
+
+// String renders Table 2.
+func (r Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Area and power values\n")
+	fmt.Fprintf(&b, "  %-18s %8.1f mm²  avg %5.1f W (paper: 35 W)\n", "Leading core", r.LeadingCoreAreaMM2, r.LeadingCoreAvgW)
+	fmt.Fprintf(&b, "  %-18s %8.1f mm²  %g / %g W\n", "In-order core", r.CheckerAreaMM2, r.CheckerRangeW[0], r.CheckerRangeW[1])
+	fmt.Fprintf(&b, "  %-18s %8.1f mm²  %.3f W dyn/access + %.3f W static\n", "1MB L2 bank", r.L2BankAreaMM2, r.L2BankDynW, r.L2BankStW)
+	fmt.Fprintf(&b, "  %-18s %8.2f mm²  %.3f W\n", "Network router", r.RouterAreaMM2, r.RouterPowerW)
+	return b.String()
+}
+
+// Table4Result reproduces the d2d bandwidth budget.
+type Table4Result struct {
+	Rows      []wire.SignalGroup
+	InterCore int
+	Total     int
+}
+
+// Table4 regenerates Table 4 for the default core.
+func Table4() Table4Result {
+	cfg := ooo.Default()
+	inter, total := wire.InterCoreVias(cfg)
+	return Table4Result{Rows: wire.Table4(cfg), InterCore: inter, Total: total}
+}
+
+// String renders Table 4.
+func (r Table4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: D2D interconnect bandwidth requirements\n")
+	fmt.Fprintf(&b, "  %-18s %6s  %s\n", "data", "width", "via placement")
+	for _, g := range r.Rows {
+		fmt.Fprintf(&b, "  %-18s %6d  %s\n", g.Name, g.Bits, g.Via)
+	}
+	fmt.Fprintf(&b, "  inter-core vias: %d (paper: 1025); total with L2 pillar: %d (paper: 1409)\n", r.InterCore, r.Total)
+	return b.String()
+}
+
+// Table5Result pairs the paper's pipeline-depth anchors with the fitted
+// analytic model.
+type Table5Result struct {
+	Paper []pipedepth.Row
+	Model []pipedepth.Row
+}
+
+// Table5 regenerates Table 5.
+func Table5() (Table5Result, error) {
+	m := pipedepth.Default()
+	res := Table5Result{Paper: pipedepth.PaperTable5()}
+	for _, r := range res.Paper {
+		d, err := m.Dynamic(r.FO4)
+		if err != nil {
+			return Table5Result{}, err
+		}
+		l, err := m.Leakage(r.FO4)
+		if err != nil {
+			return Table5Result{}, err
+		}
+		res.Model = append(res.Model, pipedepth.Row{FO4: r.FO4, Dynamic: d, Leakage: l, Total: d + l})
+	}
+	return res, nil
+}
+
+// String renders Table 5.
+func (r Table5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: Pipeline depth vs power (relative to 18 FO4 dynamic)\n")
+	fmt.Fprintf(&b, "  %-8s %18s %18s\n", "", "paper (from [38])", "analytic model")
+	fmt.Fprintf(&b, "  %-8s %5s %5s %6s %5s %5s %6s\n", "depth", "dyn", "lkg", "total", "dyn", "lkg", "total")
+	for i, p := range r.Paper {
+		m := r.Model[i]
+		fmt.Fprintf(&b, "  %4.0f FO4 %5.2f %5.2f %6.2f %5.2f %5.2f %6.2f\n",
+			p.FO4, p.Dynamic, p.Leakage, p.Total, m.Dynamic, m.Leakage, m.Total)
+	}
+	return b.String()
+}
+
+// Table6Result is the ITRS variability table.
+type Table6Result struct{ Rows []tech.Variability }
+
+// Table6 regenerates Table 6.
+func Table6() Table6Result { return Table6Result{Rows: tech.VariabilityTable()} }
+
+// String renders Table 6.
+func (r Table6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: Impact of technology scaling on variability (±%% of nominal)\n")
+	fmt.Fprintf(&b, "  %-7s %6s %10s %10s\n", "node", "Vth", "circ perf", "circ power")
+	for _, v := range r.Rows {
+		fmt.Fprintf(&b, "  %-7s %5.0f%% %9.0f%% %9.0f%%\n", v.Node, v.VthPct, v.CircuitPerfPct, v.CircuitPowerPct)
+	}
+	return b.String()
+}
+
+// Table7Result is the ITRS device characteristics table.
+type Table7Result struct{ Rows []tech.Device }
+
+// Table7 regenerates Table 7.
+func Table7() Table7Result {
+	var rows []tech.Device
+	for _, n := range []tech.Node{tech.Node90, tech.Node65, tech.Node45} {
+		rows = append(rows, tech.MustDevice(n))
+	}
+	return Table7Result{Rows: rows}
+}
+
+// String renders Table 7.
+func (r Table7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 7: Device characteristics vs technology node\n")
+	fmt.Fprintf(&b, "  %-7s %7s %11s %12s %10s\n", "node", "V", "gate (nm)", "cap (F/µm)", "leak/µm")
+	for _, d := range r.Rows {
+		fmt.Fprintf(&b, "  %-7s %7.1f %11.0f %12.2e %10.2f\n", d.Node, d.VoltageV, d.GateLengthNm, d.CapPerUm, d.LeakPerUm)
+	}
+	return b.String()
+}
+
+// Table8Result is the cross-node power scaling table.
+type Table8Result struct{ Rows []tech.PowerScaling }
+
+// Table8 regenerates Table 8 from the Table 7 device parameters.
+func Table8() (Table8Result, error) {
+	var rows []tech.PowerScaling
+	for _, pair := range [][2]tech.Node{
+		{tech.Node90, tech.Node65},
+		{tech.Node90, tech.Node45},
+		{tech.Node65, tech.Node45},
+	} {
+		s, err := tech.ScalePower(pair[0], pair[1])
+		if err != nil {
+			return Table8Result{}, err
+		}
+		rows = append(rows, s)
+	}
+	return Table8Result{Rows: rows}, nil
+}
+
+// String renders Table 8.
+func (r Table8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 8: Power of a fixed design on an older node (relative)\n")
+	fmt.Fprintf(&b, "  %-10s %8s %8s   (paper: 2.21/3.14/1.41 dyn; 0.40/0.44/0.99 lkg)\n", "nodes", "dynamic", "leakage")
+	for _, s := range r.Rows {
+		fmt.Fprintf(&b, "  %3d/%-6d %8.2f %8.2f\n", int(s.Old), int(s.New), s.Dynamic, s.Leakage)
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"fmt"
+
+	"r3d/internal/floorplan"
+	"r3d/internal/noc"
+	"r3d/internal/power"
+	"r3d/internal/thermal"
+)
+
+// ChipModel names the four physical organizations of §3.2/§3.3.
+type ChipModel int
+
+// Chip models.
+const (
+	M2DA ChipModel = iota
+	M2D2A
+	M3D2A
+	M3DChecker
+)
+
+func (m ChipModel) String() string {
+	switch m {
+	case M2D2A:
+		return "2d-2a"
+	case M3D2A:
+		return "3d-2a"
+	case M3DChecker:
+		return "3d-checker"
+	default:
+		return "2d-a"
+	}
+}
+
+// ThermalCase is one thermal evaluation point.
+type ThermalCase struct {
+	Model ChipModel
+	Opt   floorplan.Options
+	// Act is the leading-core activity; L2Rate the per-bank access rate.
+	Act    power.Activity
+	L2Rate float64
+	// CheckerW is the checker-core block power (the swept parameter of
+	// Figures 4/5); ignored for M2DA.
+	CheckerW float64
+	// Scale multiplies every block power (the §3.3 DVFS study).
+	Scale float64
+	// TopLeakScale scales the static share of top-die banks (Table 8
+	// leakage factor for a 90 nm top die).
+	TopLeakScale float64
+}
+
+// ThermalResult reports the solved temperatures.
+type ThermalResult struct {
+	PeakC     float64 // hottest active-layer cell anywhere
+	PeakDie1C float64
+	PeakDie2C float64 // NaN-free: equals PeakDie1C for 2D models
+	Iters     int
+}
+
+func (c ThermalCase) norm() ThermalCase {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.TopLeakScale == 0 {
+		c.TopLeakScale = 1
+	}
+	if c.Opt.CheckerAreaScale == 0 {
+		c.Opt = floorplan.DefaultOptions()
+	}
+	return c
+}
+
+func buildPlan(m ChipModel, opt floorplan.Options) *floorplan.Floorplan {
+	switch m {
+	case M2D2A:
+		return floorplan.Build2D2A(opt)
+	case M3D2A:
+		return floorplan.Build3D2A(opt)
+	case M3DChecker:
+		return floorplan.Build3DChecker(opt)
+	default:
+		return floorplan.Build2DA()
+	}
+}
+
+// SolveThermal evaluates one thermal case. Solvers are cached per
+// geometry in the session so repeated cases (the per-benchmark sweeps)
+// warm-start.
+func (s *Session) SolveThermal(c ThermalCase) (ThermalResult, error) {
+	_, res, err := s.SolveThermalDetailed(c)
+	return res, err
+}
+
+// SolveThermalDetailed is SolveThermal but also returns the solver with
+// its converged field (for heatmaps and further probing).
+func (s *Session) SolveThermalDetailed(c ThermalCase) (*thermal.Solver, ThermalResult, error) {
+	c = c.norm()
+	fp := buildPlan(c.Model, c.Opt)
+	if err := fp.Validate(); err != nil {
+		return nil, ThermalResult{}, err
+	}
+
+	die1 := power.LeadingCorePower(c.Act, 1, 1)
+	for k := range die1 {
+		die1[k] *= c.Scale
+	}
+	bank := (power.L2BankPower(c.L2Rate, 1) + noc.RouterPowerW) * c.Scale
+	die2 := power.BlockPowers{}
+	switch c.Model {
+	case M2DA:
+		for i := 0; i < 6; i++ {
+			die1[fmt.Sprintf("L2Bank%d", i)] = bank
+		}
+	case M2D2A:
+		for i := 0; i < 15; i++ {
+			die1[fmt.Sprintf("L2Bank%d", i)] = bank
+		}
+		die1["Checker"] = c.CheckerW * c.Scale
+	case M3D2A:
+		for i := 0; i < 6; i++ {
+			die1[fmt.Sprintf("L2Bank%d", i)] = bank
+		}
+		topBank := (power.L2BankPower(c.L2Rate, c.TopLeakScale) + noc.RouterPowerW) * c.Scale
+		for i := 0; i < c.Opt.TopDieBanks; i++ {
+			die2[fmt.Sprintf("TopBank%d", i)] = topBank
+		}
+		die2["Checker"] = c.CheckerW * c.Scale
+	case M3DChecker:
+		for i := 0; i < 6; i++ {
+			die1[fmt.Sprintf("L2Bank%d", i)] = bank
+		}
+		die2["Checker"] = c.CheckerW * c.Scale
+	}
+
+	solver := s.solverFor(fp)
+	if err := solver.SetPower(0, fp.PowerGrid(floorplan.LayerDie1, die1, thermal.GridResolution, thermal.GridResolution)); err != nil {
+		return nil, ThermalResult{}, err
+	}
+	if fp.Layers == 2 {
+		if err := solver.SetPower(1, fp.PowerGrid(floorplan.LayerDie2, die2, thermal.GridResolution, thermal.GridResolution)); err != nil {
+			return nil, ThermalResult{}, err
+		}
+	}
+	iters := solver.Solve(s.Q.ThermalTolC, s.Q.ThermalMaxIters)
+	res := ThermalResult{
+		PeakC:     solver.PeakAllC(),
+		PeakDie1C: solver.PeakC(0),
+		PeakDie2C: solver.PeakC(0),
+		Iters:     iters,
+	}
+	if fp.Layers == 2 {
+		res.PeakDie2C = solver.PeakC(1)
+	}
+	return solver, res, nil
+}
+
+// solverFor returns a cached solver for the floorplan's geometry.
+func (s *Session) solverFor(fp *floorplan.Floorplan) *thermal.Solver {
+	if s.solvers == nil {
+		s.solvers = map[string]*thermal.Solver{}
+	}
+	key := fmt.Sprintf("%s/%d/%.2fx%.2f", fp.Name, fp.Layers, fp.DieW, fp.DieH)
+	if sv, ok := s.solvers[key]; ok {
+		return sv
+	}
+	var cfg thermal.Config
+	if fp.Layers == 2 {
+		cfg = thermal.Stack3D(fp.DieW, fp.DieH)
+	} else {
+		cfg = thermal.Stack2D(fp.DieW, fp.DieH)
+	}
+	sv := thermal.NewSolver(cfg)
+	s.solvers[key] = sv
+	return sv
+}

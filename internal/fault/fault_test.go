@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"testing"
+
+	"r3d/internal/core"
+	"r3d/internal/nuca"
+	"r3d/internal/ooo"
+	"r3d/internal/tech"
+	"r3d/internal/trace"
+)
+
+func newSystem(t *testing.T, bench string, seed int64, maxGHz float64) *core.System {
+	t.Helper()
+	b, err := trace.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := trace.MustGenerator(b.Profile, seed)
+	lead, err := ooo.New(ooo.Default(), g, nuca.New(nuca.Config2DA(nuca.DistributedSets)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Default(ooo.Default())
+	if maxGHz > 0 {
+		cfg.CheckerMaxFreqGHz = maxGHz
+	}
+	s, err := core.New(cfg, lead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCampaignValidate(t *testing.T) {
+	bad := CampaignConfig{}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero instructions accepted")
+	}
+	bad = CampaignConfig{Instructions: 1, LeadSoftPerMCycle: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	bad = CampaignConfig{Instructions: 1, EnableTiming: true}
+	if err := bad.Validate(); err == nil {
+		t.Error("timing without critical path accepted")
+	}
+	if _, err := RunCampaign(newSystem(t, "gzip", 1, 0), CampaignConfig{}); err == nil {
+		t.Error("RunCampaign must reject invalid config")
+	}
+}
+
+func TestLeadingSoftErrorsAllDetectedAndRecovered(t *testing.T) {
+	sys := newSystem(t, "gzip", 2, 0)
+	res, err := RunCampaign(sys, CampaignConfig{
+		Instructions:      120000,
+		LeadSoftPerMCycle: 150, // aggressive acceleration
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeadInjected < 3 {
+		t.Fatalf("too few injections to judge: %d", res.LeadInjected)
+	}
+	if res.Detected < res.LeadInjected {
+		t.Errorf("detected %d < injected %d: the checking process must catch every leading-core error",
+			res.Detected, res.LeadInjected)
+	}
+	if res.Unrecovered != 0 {
+		t.Errorf("leading-core errors must be recoverable (clean trailer RF), got %d unrecovered", res.Unrecovered)
+	}
+	if res.Coverage() < 1 {
+		t.Errorf("coverage %.2f < 1", res.Coverage())
+	}
+	if res.MeanDetectSlack <= 0 || res.MeanDetectSlack > core.DefaultRVQSize {
+		t.Errorf("implausible detection slack %.1f", res.MeanDetectSlack)
+	}
+}
+
+func TestCheckerMBUsCanBeUnrecoverable(t *testing.T) {
+	// At 45 nm critical charges the MBU fraction is substantial; some
+	// checker-side upsets must land beyond ECC and, when subsequently
+	// read during a detection, count as unrecoverable.
+	sys := newSystem(t, "vortex", 3, 0)
+	soft, err := NewSoftErrorInjector(tech.Node45, 40, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Lead().SetFetchBudget(150000)
+	for sys.Lead().Stats().Instructions < 150000 && !sys.Lead().Drained() {
+		soft.Tick(sys)
+		sys.Step()
+	}
+	if soft.MBUs == 0 {
+		t.Fatal("45 nm campaign produced no MBUs")
+	}
+	st := sys.Stats()
+	if st.ErrorsDetected == 0 {
+		t.Fatal("RF corruptions never surfaced")
+	}
+	if st.ErrorsUnrecovered == 0 {
+		t.Error("expected some unrecoverable errors from multi-bit RF upsets")
+	}
+}
+
+func TestOlderNodeHasFewerMBUs(t *testing.T) {
+	run := func(node tech.Node) uint64 {
+		sys := newSystem(t, "gzip", 4, 0)
+		soft, err := NewSoftErrorInjector(node, 0, 600, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Lead().SetFetchBudget(80000)
+		for sys.Lead().Stats().Instructions < 80000 && !sys.Lead().Drained() {
+			soft.Tick(sys)
+			sys.Step()
+		}
+		return soft.MBUs
+	}
+	if m90, m45 := run(tech.Node90), run(tech.Node45); m90 >= m45 {
+		t.Errorf("90 nm MBUs (%d) should be below 45 nm (%d)", m90, m45)
+	}
+}
+
+func TestTimingInjectorSlackSuppression(t *testing.T) {
+	// §3.5: at 0.6·f each stage has huge slack and the timing error
+	// probability collapses versus full-frequency operation.
+	inj := NewTimingInjector(tech.Node65, 500, 1, 1)
+	atPeak := inj.ExpectedStageErrorProb(500)
+	atSixty := inj.ExpectedStageErrorProb(833)
+	if atSixty >= atPeak/1000 {
+		t.Errorf("0.6f stage error prob %.3g should be orders below peak %.3g", atSixty, atPeak)
+	}
+}
+
+func TestTimingInjectorOlderProcessMoreRobust(t *testing.T) {
+	// §4: the 90 nm die suffers less variability, so at equal *relative*
+	// slack its stage error probability is lower.
+	new65 := NewTimingInjector(tech.Node45, 500, 1, 1)
+	old90 := NewTimingInjector(tech.Node90, 500, 1, 1)
+	p65 := new65.ExpectedStageErrorProb(550)
+	p90 := old90.ExpectedStageErrorProb(550)
+	if p90 >= p65 {
+		t.Errorf("older process should be more robust: %g vs %g", p90, p65)
+	}
+}
+
+func TestTimingCampaignInjectsAtTightSlack(t *testing.T) {
+	// Cap the checker at full frequency demand (mesa) so it often runs
+	// near its critical path, then check the injector fires and errors
+	// are detected.
+	sys := newSystem(t, "mesa", 5, 0)
+	res, err := RunCampaign(sys, CampaignConfig{
+		Instructions: 100000,
+		EnableTiming: true,
+		TimingNode:   tech.Node65,
+		CritPathPs:   495, // nearly the full 500 ps period
+		TimingAccel:  0.02,
+		Seed:         17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimingInjected == 0 {
+		t.Fatal("timing injector never fired despite near-critical operation")
+	}
+	if res.Detected == 0 {
+		t.Error("timing corruptions never detected")
+	}
+}
+
+func TestDeterministicCampaign(t *testing.T) {
+	run := func() CampaignResult {
+		sys := newSystem(t, "twolf", 6, 0)
+		res, err := RunCampaign(sys, CampaignConfig{
+			Instructions:         60000,
+			LeadSoftPerMCycle:    80,
+			CheckerSoftPerMCycle: 80,
+			Seed:                 23,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("campaign not deterministic:\n%+v\n%+v", a, b)
+	}
+}

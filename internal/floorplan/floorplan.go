@@ -1,0 +1,408 @@
+// Package floorplan builds the block layouts of the paper's Figure 3:
+// the 2d-a baseline (leading core + 6 L2 banks on one die), the 2d-2a
+// baseline (leading core + checker + 15 banks on one larger die), and
+// the 3d-2a stack (2d-a lower die; checker + 9 banks on the upper die),
+// plus the §3.2 variants (checker-only top die, corner checker
+// placement, power-density what-ifs).
+//
+// Areas come from Table 2 — 19.6 mm² leading core, 5 mm² in-order core,
+// 5 mm² per 1 MB L2 bank, 0.22 mm² per router — scaled per [10] when a
+// die uses an older process. The leading core's twelve sub-units are
+// packed into a full-width strip at the die edge nearest the heat sink
+// mount, EV7-style; L2 banks tile the remaining area. Dies of a 3D stack
+// share one outline.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"r3d/internal/noc"
+	"r3d/internal/power"
+)
+
+// Table 2 areas in mm².
+const (
+	LeadingCoreAreaMM2 = 19.6
+	CheckerAreaMM2     = 5.0
+	L2BankAreaMM2      = 5.0
+	RouterAreaMM2      = noc.RouterAreaMM2
+)
+
+// Layer indices.
+const (
+	LayerDie1 = 0 // next to the heat sink
+	LayerDie2 = 1 // stacked die
+)
+
+// Block is one placed rectangle.
+type Block struct {
+	Name  string
+	Layer int
+	X, Y  float64 // mm, lower-left corner
+	W, H  float64 // mm
+}
+
+// Area returns the block area in mm².
+func (b Block) Area() float64 { return b.W * b.H }
+
+// Floorplan is a placed chip model (one or two active layers).
+type Floorplan struct {
+	Name   string
+	DieW   float64 // mm
+	DieH   float64 // mm
+	Layers int
+	Blocks []Block
+}
+
+// BlockNamed returns the first block with the given name.
+func (f *Floorplan) BlockNamed(name string) (Block, bool) {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Block{}, false
+}
+
+// Validate checks blocks stay on the die and do not overlap.
+func (f *Floorplan) Validate() error {
+	for i, b := range f.Blocks {
+		if b.X < -1e-9 || b.Y < -1e-9 || b.X+b.W > f.DieW+1e-6 || b.Y+b.H > f.DieH+1e-6 {
+			return fmt.Errorf("floorplan %s: block %s outside die (%.2f,%.2f %.2fx%.2f on %.2fx%.2f)",
+				f.Name, b.Name, b.X, b.Y, b.W, b.H, f.DieW, f.DieH)
+		}
+		for j := i + 1; j < len(f.Blocks); j++ {
+			c := f.Blocks[j]
+			if b.Layer != c.Layer {
+				continue
+			}
+			if b.X < c.X+c.W-1e-6 && c.X < b.X+b.W-1e-6 && b.Y < c.Y+c.H-1e-6 && c.Y < b.Y+b.H-1e-6 {
+				return fmt.Errorf("floorplan %s: blocks %s and %s overlap", f.Name, b.Name, c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// coreStrip packs the leading core's sub-units into a full-width strip
+// at the bottom of the die (areas proportional to peak power share of
+// the Table 2 core area) and returns the strip height.
+func coreStrip(dieW float64, layer int, out *[]Block) float64 {
+	units := power.LeadingUnits()
+	var peak float64
+	for _, u := range units {
+		peak += u.PeakW
+	}
+	stripH := LeadingCoreAreaMM2 / dieW
+	// Two rows of six units; each unit's width is proportional to its
+	// power share within its row.
+	rows := [2][]power.UnitSpec{}
+	var rowPeak [2]float64
+	for i, u := range units {
+		r := i / (len(units) / 2)
+		if r > 1 {
+			r = 1
+		}
+		rows[r] = append(rows[r], u)
+		rowPeak[r] += u.PeakW
+	}
+	y := 0.0
+	for r, row := range rows {
+		// Equal row heights; unit widths proportional to power share so
+		// hotter units get proportionally more area (constant strip
+		// density before activity factors differentiate them).
+		h := stripH / 2
+		x := 0.0
+		for _, u := range row {
+			w := dieW * u.PeakW / rowPeak[r]
+			*out = append(*out, Block{Name: u.Name, Layer: layer, X: x, Y: y, W: w, H: h})
+			x += w
+		}
+		y += h
+	}
+	return stripH
+}
+
+type rect struct{ x, y, w, h float64 }
+
+// tileRegion splits a rectangle into n near-square tiles (grid) and
+// appends them as blocks named prefix0..prefix{n-1} (offset names by
+// start).
+func tileRegion(r rect, n, start int, prefix string, layer int, out *[]Block) {
+	if n <= 0 {
+		return
+	}
+	// Rows-first: pick a row count that keeps tiles near square, then
+	// balance the tile counts across rows (each row is fully covered,
+	// so tile areas stay within a small band of each other).
+	rows := int(math.Round(math.Sqrt(float64(n) * r.h / r.w)))
+	if rows < 1 {
+		rows = 1
+	}
+	if rows > n {
+		rows = n
+	}
+	th := r.h / float64(rows)
+	i := 0
+	for row := 0; row < rows; row++ {
+		// Balanced distribution: spread n over rows within ±1.
+		inRow := n/rows + boolToInt(row < n%rows)
+		tw := r.w / float64(inRow)
+		for c := 0; c < inRow; c++ {
+			*out = append(*out, Block{
+				Name:  fmt.Sprintf("%s%d", prefix, start+i),
+				Layer: layer,
+				X:     r.x + float64(c)*tw,
+				Y:     r.y + float64(row)*th,
+				W:     tw,
+				H:     th,
+			})
+			i++
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Options configures floorplan construction.
+type Options struct {
+	// CheckerAreaScale inflates the checker-die block areas (the §4
+	// 90 nm die: (90/65)² ≈ 1.92).
+	CheckerAreaScale float64
+	// TopDieBanks is the number of L2 banks on the stacked die: 9 at
+	// 65 nm; 4 at 90 nm, where the same die area holds fewer banks (the
+	// paper rounds this to "5 MB").
+	TopDieBanks int
+	// CheckerAtCorner moves the checker to the far corner of the top
+	// die (§3.2 variant: ≈1.5 °C cooler, longer inter-core wires).
+	CheckerAtCorner bool
+	// CheckerPowerDensityScale shrinks the checker block area while its
+	// power stays constant (the §3.2 "power density doubled" what-if
+	// uses 0.5).
+	CheckerPowerDensityScale float64
+}
+
+// DefaultOptions is the homogeneous 65 nm stack.
+func DefaultOptions() Options {
+	return Options{CheckerAreaScale: 1, TopDieBanks: 9, CheckerPowerDensityScale: 1}
+}
+
+// Options90nm is the §4 heterogeneous stack: the checker die in 90 nm.
+func Options90nm() Options {
+	return Options{CheckerAreaScale: 90.0 * 90.0 / (65.0 * 65.0), TopDieBanks: 4, CheckerPowerDensityScale: 1}
+}
+
+func (o Options) checkerArea() float64 {
+	s := o.CheckerAreaScale
+	if s <= 0 {
+		s = 1
+	}
+	a := CheckerAreaMM2 * s
+	if o.CheckerPowerDensityScale > 0 {
+		a *= o.CheckerPowerDensityScale
+	}
+	return a
+}
+
+// Build2DA returns the single-die baseline: leading core strip at the
+// bottom, 6 banks above. Die ≈ 7.2×7.2 mm (≈52 mm², Table 2 inventory).
+func Build2DA() *Floorplan {
+	f := &Floorplan{Name: "2d-a", Layers: 1, DieW: 7.2}
+	ch := coreStrip(f.DieW, LayerDie1, &f.Blocks)
+	bankArea := 6 * (L2BankAreaMM2 + RouterAreaMM2)
+	bh := bankArea / f.DieW
+	tileRegion(rect{0, ch, f.DieW, bh}, 6, 0, "L2Bank", LayerDie1, &f.Blocks)
+	f.DieH = ch + bh
+	return f
+}
+
+// Build2D2A returns the large single-die model: core strip at the
+// bottom, 15 banks above, and the checker at the far (top) corner — in
+// a 2D layout the checker cannot abut the core, so its value queues are
+// fed by long horizontal wires routed over the cache banks (this is
+// exactly the §3.4 wiring cost that the 3D stack removes). The die also
+// gets the larger heat sink that comes with its doubled area.
+func Build2D2A(opt Options) *Floorplan {
+	f := &Floorplan{Name: "2d-2a", Layers: 1, DieW: 10.2}
+	ch := coreStrip(f.DieW, LayerDie1, &f.Blocks)
+	ca := opt.checkerArea()
+	cw := math.Sqrt(ca * 1.2)
+	chh := ca / cw
+	bankArea := 15 * (L2BankAreaMM2 + RouterAreaMM2)
+	f.DieH = ch + (bankArea+ca)/f.DieW
+	f.Blocks = append(f.Blocks, Block{Name: "Checker", Layer: LayerDie1, X: f.DieW - cw, Y: f.DieH - chh, W: cw, H: chh})
+	// Banks: the main region between the core and the checker row, plus
+	// the top strip left of the checker.
+	main := rect{0, ch, f.DieW, f.DieH - chh - ch}
+	top := rect{0, f.DieH - chh, f.DieW - cw, chh}
+	n := int(math.Round(15 * main.w * main.h / bankArea))
+	if n > 15 {
+		n = 15
+	}
+	tileRegion(main, n, 0, "L2Bank", LayerDie1, &f.Blocks)
+	tileRegion(top, 15-n, n, "L2Bank", LayerDie1, &f.Blocks)
+	return f
+}
+
+// Build3D2A returns the stacked model: the 2d-a die as die 1, and a top
+// die (same outline) with the checker plus opt.TopDieBanks banks. By
+// default the checker sits near the bottom of the top die — directly
+// above the leading core, which keeps the inter-core via pillars and
+// queue wiring short; with CheckerAtCorner it moves to the far corner,
+// trading wire length for ≈1.5 °C (§3.2).
+func Build3D2A(opt Options) *Floorplan {
+	f := Build2DA()
+	f.Name = "3d-2a"
+	f.Layers = 2
+
+	ca := opt.checkerArea()
+	cw := math.Sqrt(ca * 1.2)
+	chh := ca / cw
+	// The core strip below spans y∈[0, coreH). The default checker
+	// straddles the core's cache end — its inter-core buffers sit as
+	// close as possible to the leading core's LSQ/DCache (paper §3.2) —
+	// while L2 banks cover the hottest execution units. The corner
+	// variant trades wire length for distance from the core's heat.
+	coreH := LeadingCoreAreaMM2 / f.DieW
+	var cx, cy float64
+	if opt.CheckerAtCorner {
+		cx, cy = f.DieW-cw, f.DieH-chh
+	} else {
+		cx, cy = (f.DieW-cw)/2, coreH-chh/2
+	}
+	f.Blocks = append(f.Blocks, Block{Name: "Checker", Layer: LayerDie2, X: cx, Y: cy, W: cw, H: chh})
+
+	// Banks tile the remaining area around the checker.
+	n := opt.TopDieBanks
+	var regions []rect
+	if opt.CheckerAtCorner {
+		regions = []rect{
+			{0, 0, f.DieW, f.DieH - chh},        // below the checker row
+			{0, f.DieH - chh, f.DieW - cw, chh}, // beside the checker
+		}
+	} else {
+		regions = []rect{
+			{0, 0, f.DieW, cy},                       // over die1's execution cluster
+			{0, cy, cx, chh},                         // left of checker
+			{cx + cw, cy, f.DieW - cx - cw, chh},     // right of checker
+			{0, cy + chh, f.DieW, f.DieH - cy - chh}, // top
+		}
+	}
+	var total float64
+	for _, r := range regions {
+		total += r.w * r.h
+	}
+	start := 0
+	for i, r := range regions {
+		cnt := int(math.Round(float64(n) * r.w * r.h / total))
+		if i == len(regions)-1 {
+			cnt = n - start
+		}
+		if start+cnt > n {
+			cnt = n - start
+		}
+		tileRegion(r, cnt, start, "TopBank", LayerDie2, &f.Blocks)
+		start += cnt
+	}
+	return f
+}
+
+// Build3DChecker returns the 3d-checker model (§3.3): the top die holds
+// only the checker; the rest is inactive silicon (also the §3.2
+// inactive-silicon thermal variant).
+func Build3DChecker(opt Options) *Floorplan {
+	f := Build2DA()
+	f.Name = "3d-checker"
+	f.Layers = 2
+	ca := opt.checkerArea()
+	cw := math.Sqrt(ca * 1.2)
+	chh := ca / cw
+	coreH := LeadingCoreAreaMM2 / f.DieW
+	x, y := (f.DieW-cw)/2, coreH-chh/2
+	if opt.CheckerAtCorner {
+		x, y = f.DieW-cw, f.DieH-chh
+	}
+	f.Blocks = append(f.Blocks, Block{Name: "Checker", Layer: LayerDie2, X: x, Y: y, W: cw, H: chh})
+	return f
+}
+
+// PowerGrid rasterizes the blocks of one layer onto an nx×ny grid of
+// power values (watts per cell), distributing each block's power over
+// the cells it covers in proportion to overlap area. Cells not covered
+// by any block are inactive silicon and get zero power.
+func (f *Floorplan) PowerGrid(layer int, powers power.BlockPowers, nx, ny int) [][]float64 {
+	grid := make([][]float64, ny)
+	for y := range grid {
+		grid[y] = make([]float64, nx)
+	}
+	cw := f.DieW / float64(nx)
+	ch := f.DieH / float64(ny)
+	for _, b := range f.Blocks {
+		if b.Layer != layer {
+			continue
+		}
+		w, ok := powers[b.Name]
+		if !ok || w == 0 {
+			continue
+		}
+		density := w / b.Area() // W/mm²
+		x0 := int(b.X / cw)
+		x1 := int(math.Ceil((b.X + b.W) / cw))
+		y0 := int(b.Y / ch)
+		y1 := int(math.Ceil((b.Y + b.H) / ch))
+		for yi := maxi(0, y0); yi < mini(ny, y1); yi++ {
+			for xi := maxi(0, x0); xi < mini(nx, x1); xi++ {
+				ox := overlap(b.X, b.X+b.W, float64(xi)*cw, float64(xi+1)*cw)
+				oy := overlap(b.Y, b.Y+b.H, float64(yi)*ch, float64(yi+1)*ch)
+				grid[yi][xi] += density * ox * oy
+			}
+		}
+	}
+	return grid
+}
+
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo, hi := math.Max(a0, b0), math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// WireLengthMM returns the Manhattan distance between the centers of two
+// named blocks in millimetres; for blocks on different layers only the
+// horizontal distance counts (inter-die vias are microns long). It
+// reports an error if either block is absent.
+func (f *Floorplan) WireLengthMM(from, to string) (float64, error) {
+	a, ok := f.BlockNamed(from)
+	if !ok {
+		return 0, fmt.Errorf("floorplan %s: no block %q", f.Name, from)
+	}
+	b, ok := f.BlockNamed(to)
+	if !ok {
+		return 0, fmt.Errorf("floorplan %s: no block %q", f.Name, to)
+	}
+	dx := math.Abs((a.X + a.W/2) - (b.X + b.W/2))
+	dy := math.Abs((a.Y + a.H/2) - (b.Y + b.H/2))
+	return dx + dy, nil
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

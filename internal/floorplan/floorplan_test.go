@@ -1,0 +1,219 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"r3d/internal/power"
+)
+
+func allPlans(t *testing.T) []*Floorplan {
+	t.Helper()
+	return []*Floorplan{
+		Build2DA(),
+		Build2D2A(DefaultOptions()),
+		Build3D2A(DefaultOptions()),
+		Build3D2A(Options{CheckerAreaScale: 1, TopDieBanks: 9, CheckerAtCorner: true, CheckerPowerDensityScale: 1}),
+		Build3D2A(Options90nm()),
+		Build3DChecker(DefaultOptions()),
+	}
+}
+
+func TestAllPlansValid(t *testing.T) {
+	for _, f := range allPlans(t) {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+		if f.DieW <= 0 || f.DieH <= 0 {
+			t.Errorf("%s: degenerate die", f.Name)
+		}
+	}
+}
+
+func TestBlockInventory(t *testing.T) {
+	count := func(f *Floorplan, prefix string) int {
+		n := 0
+		for _, b := range f.Blocks {
+			if len(b.Name) >= len(prefix) && b.Name[:len(prefix)] == prefix {
+				n++
+			}
+		}
+		return n
+	}
+	f2a := Build2DA()
+	if got := count(f2a, "L2Bank"); got != 6 {
+		t.Errorf("2d-a has %d banks, want 6", got)
+	}
+	if _, ok := f2a.BlockNamed("Checker"); ok {
+		t.Error("2d-a must not have a checker")
+	}
+	f22 := Build2D2A(DefaultOptions())
+	if got := count(f22, "L2Bank"); got != 15 {
+		t.Errorf("2d-2a has %d banks, want 15", got)
+	}
+	if _, ok := f22.BlockNamed("Checker"); !ok {
+		t.Error("2d-2a needs a checker")
+	}
+	f3d := Build3D2A(DefaultOptions())
+	if got := count(f3d, "L2Bank"); got != 6 {
+		t.Errorf("3d-2a lower die has %d banks, want 6", got)
+	}
+	if got := count(f3d, "TopBank"); got != 9 {
+		t.Errorf("3d-2a top die has %d banks, want 9", got)
+	}
+	if f3d.Layers != 2 {
+		t.Error("3d-2a must have two layers")
+	}
+	f90 := Build3D2A(Options90nm())
+	if got := count(f90, "TopBank"); got != 4 {
+		t.Errorf("90nm top die has %d banks, want 4 (≈5 MB at constant area)", got)
+	}
+}
+
+func TestCoreAreaMatchesTable2(t *testing.T) {
+	f := Build2DA()
+	var area float64
+	for _, u := range power.LeadingUnits() {
+		b, ok := f.BlockNamed(u.Name)
+		if !ok {
+			t.Fatalf("missing core unit %s", u.Name)
+		}
+		area += b.Area()
+	}
+	if math.Abs(area-LeadingCoreAreaMM2) > 0.01 {
+		t.Errorf("core area %.2f mm², want %.1f (Table 2)", area, LeadingCoreAreaMM2)
+	}
+}
+
+func Test2D2ALargerThan2DA(t *testing.T) {
+	a := Build2DA()
+	b := Build2D2A(DefaultOptions())
+	if b.DieW*b.DieH < 1.8*a.DieW*a.DieH {
+		t.Errorf("2d-2a area %.1f should be ≈2× 2d-a %.1f", b.DieW*b.DieH, a.DieW*a.DieH)
+	}
+}
+
+func Test3DSharesOutline(t *testing.T) {
+	a := Build2DA()
+	f := Build3D2A(DefaultOptions())
+	if f.DieW != a.DieW || f.DieH != a.DieH {
+		t.Error("3d-2a dies must share the 2d-a outline")
+	}
+}
+
+func TestCheckerPlacement(t *testing.T) {
+	def := Build3D2A(DefaultOptions())
+	c, _ := def.BlockNamed("Checker")
+	if c.Layer != LayerDie2 {
+		t.Error("checker belongs on the top die")
+	}
+	// The default checker straddles the leading core's cache end —
+	// close to the via pillars (the paper places its inter-core buffers
+	// next to the leading core's cache structures).
+	coreH := LeadingCoreAreaMM2 / def.DieW
+	if math.Abs((c.Y+c.H/2)-coreH) > 1e-9 {
+		t.Errorf("default checker centered at y=%.2f, want the core strip edge (%.2f)", c.Y+c.H/2, coreH)
+	}
+	corner := Build3D2A(Options{CheckerAreaScale: 1, TopDieBanks: 9, CheckerAtCorner: true, CheckerPowerDensityScale: 1})
+	cc, _ := corner.BlockNamed("Checker")
+	if cc.X+cc.W < corner.DieW-1e-6 || cc.Y+cc.H < corner.DieH-1e-6 {
+		t.Error("corner checker must touch the far corner")
+	}
+}
+
+func TestPowerDensityScaleShrinksChecker(t *testing.T) {
+	opt := DefaultOptions()
+	opt.CheckerPowerDensityScale = 0.5
+	f := Build3D2A(opt)
+	c, _ := f.BlockNamed("Checker")
+	if math.Abs(c.Area()-CheckerAreaMM2/2) > 0.01 {
+		t.Errorf("halved checker area %.2f, want %.2f", c.Area(), CheckerAreaMM2/2)
+	}
+}
+
+func TestPowerGridConservesPower(t *testing.T) {
+	f := Build3D2A(DefaultOptions())
+	powers := power.BlockPowers{"Checker": 15.0, "TopBank0": 0.5, "TopBank8": 0.7}
+	grid := f.PowerGrid(LayerDie2, powers, 50, 50)
+	var sum float64
+	for _, row := range grid {
+		for _, p := range row {
+			sum += p
+		}
+	}
+	if math.Abs(sum-16.2) > 1e-6 {
+		t.Errorf("grid power %.4f W, want 16.2 (conservation)", sum)
+	}
+	// Layer 1 of the same plan with leading-core powers.
+	lp := power.BlockPowers{}
+	for _, u := range power.LeadingUnits() {
+		lp[u.Name] = u.PeakW / 3
+	}
+	g1 := f.PowerGrid(LayerDie1, lp, 50, 50)
+	sum = 0
+	for _, row := range g1 {
+		for _, p := range row {
+			sum += p
+		}
+	}
+	if math.Abs(sum-lp.Total()) > 1e-6 {
+		t.Errorf("layer-1 grid power %.3f, want %.3f", sum, lp.Total())
+	}
+}
+
+func TestPowerGridUnknownBlocksIgnored(t *testing.T) {
+	f := Build2DA()
+	grid := f.PowerGrid(LayerDie1, power.BlockPowers{"Nonexistent": 99}, 10, 10)
+	for _, row := range grid {
+		for _, p := range row {
+			if p != 0 {
+				t.Fatal("unknown block leaked power into the grid")
+			}
+		}
+	}
+}
+
+func TestWireLengthMM(t *testing.T) {
+	f := Build3D2A(DefaultOptions())
+	d, err := f.WireLengthMM("IntRF", "Checker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > f.DieW+f.DieH {
+		t.Errorf("implausible wire length %.2f", d)
+	}
+	if _, err := f.WireLengthMM("IntRF", "Missing"); err == nil {
+		t.Error("missing block must error")
+	}
+	// The corner variant must lengthen the checker wiring overall (the
+	// §3.2 trade-off), summed over the inter-core source blocks.
+	total := func(fp *Floorplan) float64 {
+		var sum float64
+		for _, src := range []string{"IntRF", "LSQ", "DCache", "Bpred"} {
+			l, err := fp.WireLengthMM(src, "Checker")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += l
+		}
+		return sum
+	}
+	corner := Build3D2A(Options{CheckerAreaScale: 1, TopDieBanks: 9, CheckerAtCorner: true, CheckerPowerDensityScale: 1})
+	if tc, td := total(corner), total(f); tc <= td {
+		t.Errorf("corner placement should lengthen wires: %.2f vs %.2f", tc, td)
+	}
+}
+
+func TestTopDieBankAreasReasonable(t *testing.T) {
+	// Tiled top-die banks should be within 30% of the Table 2 bank area
+	// (the region tiling redistributes area slightly).
+	f := Build3D2A(DefaultOptions())
+	for _, b := range f.Blocks {
+		if b.Layer != LayerDie2 || b.Name == "Checker" {
+			continue
+		}
+		if b.Area() < 0.7*L2BankAreaMM2 || b.Area() > 1.3*(L2BankAreaMM2+RouterAreaMM2) {
+			t.Errorf("top bank %s area %.2f mm² outside band", b.Name, b.Area())
+		}
+	}
+}

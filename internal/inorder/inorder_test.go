@@ -1,0 +1,266 @@
+package inorder
+
+import (
+	"testing"
+
+	"r3d/internal/isa"
+	"r3d/internal/trace"
+)
+
+func entriesFrom(name string, seed int64, n int) []Entry {
+	b, err := trace.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	g := trace.MustGenerator(b.Profile, seed)
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = MakeEntry(g.Next())
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.Width = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New must panic on invalid config")
+		}
+	}()
+	New(bad)
+}
+
+func TestCleanStreamChecksOK(t *testing.T) {
+	c := New(Default())
+	entries := entriesFrom("gzip", 1, 40000)
+	outcomes := make([]CheckOutcome, 4)
+	for len(entries) > 0 {
+		n := c.Step(entries, outcomes)
+		for i := 0; i < n; i++ {
+			if outcomes[i] != CheckOK {
+				t.Fatalf("clean stream produced outcome %v", outcomes[i])
+			}
+		}
+		entries = entries[n:]
+	}
+	s := c.Stats()
+	if s.ResultMismatches != 0 || s.OperandMismatches != 0 {
+		t.Fatalf("clean stream flagged errors: %+v", s)
+	}
+	if s.Checked != 40000 {
+		t.Fatalf("Checked = %d, want 40000", s.Checked)
+	}
+}
+
+func TestRVPGivesHighILP(t *testing.T) {
+	// §2.1: with RVP the in-order checker sustains high ILP — far above
+	// the leading core's IPC for the same stream, despite serial
+	// dependences in the program.
+	c := New(Default())
+	entries := entriesFrom("mcf", 2, 40000) // mcf: leading IPC ≈ 0.3
+	outcomes := make([]CheckOutcome, 4)
+	for len(entries) > 0 {
+		n := c.Step(entries, outcomes)
+		entries = entries[n:]
+	}
+	if ipc := c.Stats().IPC(); ipc < 2.5 {
+		t.Errorf("checker IPC on mcf = %.2f, want ≥2.5 (RVP removes data stalls)", ipc)
+	}
+}
+
+func TestFUConstraintLimitsFPThroughput(t *testing.T) {
+	// A pure FP-multiply stream is bounded by the single FP multiplier.
+	ent := make([]Entry, 10000)
+	for i := range ent {
+		ent[i] = MakeEntry(isa.Inst{Op: isa.FPMult, Dest: isa.NumIntRegs + 1, Src1: isa.ZeroReg, Src2: isa.ZeroReg})
+	}
+	c := New(Default())
+	outcomes := make([]CheckOutcome, 4)
+	rest := ent
+	for len(rest) > 0 {
+		n := c.Step(rest, outcomes)
+		rest = rest[n:]
+	}
+	if ipc := c.Stats().IPC(); ipc > 1.01 {
+		t.Errorf("FPMult-only IPC = %.2f, want ≤1 with one FP multiplier", ipc)
+	}
+	if c.Stats().FUStalls == 0 {
+		t.Error("expected structural stalls")
+	}
+}
+
+func TestEmptyCycleCounted(t *testing.T) {
+	c := New(Default())
+	if n := c.Step(nil, make([]CheckOutcome, 4)); n != 0 {
+		t.Fatal("empty step must issue nothing")
+	}
+	if c.Stats().EmptyCycles != 1 {
+		t.Error("empty cycle not counted")
+	}
+}
+
+func TestLeadingResultCorruptionDetected(t *testing.T) {
+	c := New(Default())
+	outcomes := make([]CheckOutcome, 4)
+	ent := entriesFrom("gzip", 3, 100)
+	// Corrupt the transmitted result of the first register-writing inst.
+	for i := range ent {
+		if ent[i].Inst.HasDest() {
+			ent[i].LeadValue ^= 1 << 13
+			want := i
+			rest := ent
+			checked := 0
+			for len(rest) > 0 {
+				n := c.Step(rest, outcomes)
+				for j := 0; j < n; j++ {
+					if checked+j == want {
+						if outcomes[j] != CheckMismatch {
+							t.Fatalf("corrupted result not detected: %v", outcomes[j])
+						}
+						return
+					}
+					if outcomes[j] != CheckOK {
+						t.Fatalf("false positive at %d", checked+j)
+					}
+				}
+				checked += n
+				rest = rest[n:]
+			}
+		}
+	}
+	t.Fatal("no register-writing instruction found")
+}
+
+func TestOperandCorruptionDetected(t *testing.T) {
+	// Corrupting a transmitted operand (RVQ copy) must be flagged as an
+	// operand mismatch against the trailer RF.
+	c := New(Default())
+	outcomes := make([]CheckOutcome, 4)
+	ent := entriesFrom("vortex", 4, 2000)
+	// Find an instruction whose Src1 was written earlier in the window
+	// (so the trailer RF holds it), then corrupt the operand copy.
+	written := map[isa.Reg]bool{}
+	target := -1
+	for i := range ent {
+		in := ent[i].Inst
+		if !in.Src1.IsZero() && written[in.Src1] && i > 10 {
+			target = i
+			ent[i].LeadSrc1 ^= 0xff
+			break
+		}
+		if in.HasDest() {
+			written[in.Dest] = true
+		}
+	}
+	if target < 0 {
+		t.Fatal("no suitable instruction found")
+	}
+	checked := 0
+	rest := ent
+	for len(rest) > 0 && checked <= target {
+		n := c.Step(rest, outcomes)
+		for j := 0; j < n; j++ {
+			if checked+j == target {
+				if outcomes[j] != CheckOperandMismatch {
+					t.Fatalf("corrupted operand not detected: %v", outcomes[j])
+				}
+				return
+			}
+		}
+		checked += n
+		rest = rest[n:]
+	}
+	t.Fatal("target never checked")
+}
+
+func TestTrailerRFSingleBitECCCorrected(t *testing.T) {
+	c := New(Default())
+	outcomes := make([]CheckOutcome, 4)
+	ent := entriesFrom("gzip", 5, 5000)
+	// Warm the RF.
+	warm, rest := ent[:1000], ent[1000:]
+	for len(warm) > 0 {
+		n := c.Step(warm, outcomes)
+		warm = warm[n:]
+	}
+	// Find the next instruction reading a non-zero reg and corrupt that
+	// register in the trailer RF by one bit.
+	var reg isa.Reg = isa.ZeroReg
+	for i := range rest {
+		if !rest[i].Inst.Src1.IsZero() {
+			reg = rest[i].Inst.Src1
+			break
+		}
+	}
+	if reg.IsZero() {
+		t.Fatal("no readable register found")
+	}
+	c.CorruptRF(reg, 1)
+	for len(rest) > 0 {
+		n := c.Step(rest, outcomes)
+		for j := 0; j < n; j++ {
+			if outcomes[j] == CheckOperandMismatch {
+				t.Fatal("single-bit RF upset should be corrected by ECC, not flagged")
+			}
+		}
+		rest = rest[n:]
+		if c.Stats().ECCCorrected > 0 {
+			return // corrected, done
+		}
+	}
+	t.Fatal("ECC correction never triggered")
+}
+
+func TestTrailerRFMultiBitUnrecoverable(t *testing.T) {
+	c := New(Default())
+	if c.UnrecoverableRF() {
+		t.Fatal("fresh checker must be recoverable")
+	}
+	c.CorruptRF(5, 3)
+	if !c.UnrecoverableRF() {
+		t.Fatal("triple-bit upset must be unrecoverable")
+	}
+	// A fresh architectural write to the register clears the damage.
+	out := make([]CheckOutcome, 4)
+	in := isa.Inst{Op: isa.IntALU, Dest: 5, Src1: isa.ZeroReg, Src2: isa.ZeroReg, Value: 42}
+	c.Step([]Entry{MakeEntry(in)}, out)
+	if c.UnrecoverableRF() {
+		t.Fatal("overwrite must clear the corrupted register")
+	}
+	if c.RegisterFile(5) != 42 {
+		t.Fatal("RF write lost")
+	}
+}
+
+func TestNoECCConfigMissesNothingButCannotCorrect(t *testing.T) {
+	cfg := Default()
+	cfg.ECCProtectedRF = false
+	c := New(cfg)
+	out := make([]CheckOutcome, 4)
+	// Write then corrupt one bit, then read: without ECC the mismatch is
+	// flagged (detected) rather than silently corrected.
+	c.Step([]Entry{MakeEntry(isa.Inst{Op: isa.IntALU, Dest: 7, Src1: isa.ZeroReg, Src2: isa.ZeroReg, Value: 5})}, out)
+	c.CorruptRF(7, 1)
+	reader := MakeEntry(isa.Inst{Op: isa.IntALU, Dest: 8, Src1: 7, Src2: isa.ZeroReg, Src1Val: 5, Value: 9})
+	c.Step([]Entry{reader}, out)
+	if out[0] != CheckUnrecoverable {
+		t.Fatalf("unprotected RF corruption is detected but unrecoverable, got %v", out[0])
+	}
+	if c.Stats().ECCCorrected != 0 {
+		t.Fatal("no ECC correction possible without ECC")
+	}
+}
+
+func TestStatsIPCZero(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Error("zero-value IPC must be 0")
+	}
+}

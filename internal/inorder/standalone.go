@@ -1,0 +1,221 @@
+package inorder
+
+import (
+	"r3d/internal/bpred"
+	"r3d/internal/cache"
+	"r3d/internal/isa"
+	"r3d/internal/nuca"
+)
+
+// Standalone runs the checker core as a *leading* core — the degraded
+// mode of the paper's footnote 1: "a hard error in the leading core can
+// also be tolerated, although at a performance penalty", because the
+// checker is a full-fledged core. Without the leading core there is no
+// RVQ/LVQ/BOQ: the in-order pipeline must use its own branch predictor
+// and data cache and stall on real data dependences — which is exactly
+// where the performance penalty comes from.
+type Standalone struct {
+	cfg  Config
+	src  interface{ Next() isa.Inst }
+	pred *bpred.Predictor
+	btb  *bpred.BTB
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+	l2   *nuca.Cache
+
+	cycle uint64
+	insts uint64
+	// regReady holds the cycle at which each register's value is
+	// available.
+	regReady [isa.NumRegs]uint64
+	// stallUntil blocks issue (mispredict redirect, I-miss).
+	stallUntil uint64
+
+	memLatency int
+
+	buf    isa.Inst
+	peeked bool
+
+	stats StandaloneStats
+}
+
+// StandaloneStats summarizes a degraded-mode run.
+type StandaloneStats struct {
+	Cycles       uint64
+	Instructions uint64
+	L1DMisses    uint64
+	L2Misses     uint64
+	Mispredicts  uint64
+}
+
+// IPC returns instructions per cycle.
+func (s StandaloneStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// NewStandalone builds a degraded-mode core over an instruction source
+// and an L2; memLatency is the memory trip in cycles at the operating
+// frequency.
+func NewStandalone(cfg Config, src interface{ Next() isa.Inst }, l2 *nuca.Cache, memLatency int) (*Standalone, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Standalone{
+		cfg:        cfg,
+		src:        src,
+		pred:       bpred.New(),
+		btb:        bpred.NewBTB(),
+		l1i:        cache.New(cache.L1I),
+		l1d:        cache.New(cache.L1D),
+		l2:         l2,
+		memLatency: memLatency,
+	}, nil
+}
+
+// Stats returns the counters so far.
+func (s *Standalone) Stats() StandaloneStats { return s.stats }
+
+// Run executes n instructions and returns the statistics. The model is
+// an in-order issue pipeline: each cycle issues consecutive instructions
+// until the width is exhausted, an operand is not yet ready (RAW stall —
+// no RVP here), a functional unit is busy, or a taken branch ends the
+// fetch group; mispredicted branches stall the front end for the
+// redirect latency.
+func (s *Standalone) Run(n uint64) StandaloneStats {
+	var pendingStall uint64
+	var lastBlock uint64 = ^uint64(0)
+	for s.insts < n {
+		s.cycle++
+		s.stats.Cycles++
+		if s.cycle < s.stallUntil {
+			continue
+		}
+		if pendingStall > 0 {
+			s.stallUntil = s.cycle + pendingStall
+			pendingStall = 0
+			continue
+		}
+		alu, mul, fpa, fpm := s.cfg.IntALU, s.cfg.IntMult, s.cfg.FPALU, s.cfg.FPMult
+		for issued := 0; issued < s.cfg.Width && s.insts < n; issued++ {
+			in := s.peek()
+			// RAW hazard: in-order issue waits for operands.
+			ready := s.regReady[in.Src1]
+			if r2 := s.regReady[in.Src2]; r2 > ready {
+				ready = r2
+			}
+			if ready > s.cycle {
+				// Stall until the operand arrives (next cycles).
+				break
+			}
+			// Structural hazards.
+			switch in.Op {
+			case isa.IntALU, isa.BranchCond, isa.BranchUncond:
+				if alu == 0 {
+					issued = s.cfg.Width
+					continue
+				}
+				alu--
+			case isa.IntMult:
+				if mul == 0 {
+					issued = s.cfg.Width
+					continue
+				}
+				mul--
+			case isa.FPALU:
+				if fpa == 0 {
+					issued = s.cfg.Width
+					continue
+				}
+				fpa--
+			case isa.FPMult:
+				if fpm == 0 {
+					issued = s.cfg.Width
+					continue
+				}
+				fpm--
+			case isa.Load, isa.Store:
+				if alu == 0 { // AGU shares the ALU pool
+					issued = s.cfg.Width
+					continue
+				}
+				alu--
+			}
+			s.consume()
+
+			// Instruction cache, per fetch block.
+			block := in.PC &^ 63
+			if block != lastBlock {
+				lastBlock = block
+				if hit, _ := s.l1i.Access(in.PC, false); !hit {
+					lat, miss := s.l2.Access(block, false)
+					extra := uint64(lat)
+					if miss {
+						extra += uint64(s.memLatency)
+					}
+					pendingStall += extra
+				}
+			}
+
+			lat := uint64(in.Op.Latency())
+			if in.Op == isa.Load {
+				hit, _ := s.l1d.Access(in.Addr, false)
+				if hit {
+					lat += uint64(cache.L1D.LatencyCycles)
+				} else {
+					s.stats.L1DMisses++
+					l2lat, miss := s.l2.Access(in.Addr, false)
+					lat += uint64(cache.L1D.LatencyCycles + l2lat)
+					if miss {
+						s.stats.L2Misses++
+						lat += uint64(s.memLatency)
+					}
+				}
+			}
+			if in.Op == isa.Store {
+				if hit, _ := s.l1d.Access(in.Addr, true); !hit {
+					s.stats.L1DMisses++
+					if _, miss := s.l2.Access(in.Addr, true); miss {
+						s.stats.L2Misses++
+					}
+				}
+			}
+			if in.Op == isa.BranchCond {
+				predTaken := s.pred.Lookup(in.PC)
+				tgt, btbHit := s.btb.Lookup(in.PC)
+				effTaken := predTaken && btbHit
+				mispred := effTaken != in.Taken || (effTaken && tgt != in.Target)
+				s.pred.Update(in.PC, predTaken, in.Taken)
+				if in.Taken {
+					s.btb.Update(in.PC, in.Target)
+				}
+				if mispred {
+					s.stats.Mispredicts++
+					pendingStall += uint64(bpred.MispredictLatency)
+					issued = s.cfg.Width // end the group
+				} else if in.Taken {
+					issued = s.cfg.Width // one taken branch per cycle
+				}
+			}
+			if in.HasDest() {
+				s.regReady[in.Dest] = s.cycle + lat
+			}
+			s.insts++
+			s.stats.Instructions++
+		}
+	}
+	return s.stats
+}
+
+// peek/consume implement one-instruction lookahead over the source.
+func (s *Standalone) peek() isa.Inst {
+	if !s.peeked {
+		s.buf = s.src.Next()
+		s.peeked = true
+	}
+	return s.buf
+}
+
+func (s *Standalone) consume() { s.peeked = false }

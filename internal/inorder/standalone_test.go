@@ -1,0 +1,75 @@
+package inorder
+
+import (
+	"testing"
+
+	"r3d/internal/nuca"
+	"r3d/internal/ooo"
+	"r3d/internal/trace"
+)
+
+func runStandalone(t *testing.T, bench string, n uint64) StandaloneStats {
+	t.Helper()
+	b, err := trace.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := trace.MustGenerator(b.Profile, 21)
+	c, err := NewStandalone(Default(), g, nuca.New(nuca.Config2DA(nuca.DistributedSets)), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Run(n)
+}
+
+func TestStandaloneExecutes(t *testing.T) {
+	s := runStandalone(t, "gzip", 60000)
+	if s.Instructions != 60000 {
+		t.Fatalf("ran %d instructions, want 60000", s.Instructions)
+	}
+	ipc := s.IPC()
+	if ipc <= 0 || ipc > 4 {
+		t.Fatalf("implausible in-order IPC %.2f", ipc)
+	}
+	if s.Mispredicts == 0 {
+		t.Error("real branch predictor must mispredict sometimes")
+	}
+}
+
+func TestDegradedModeSlowerThanOoO(t *testing.T) {
+	// Footnote 1: running the workload on the in-order checker (after a
+	// hard error in the leading core) costs performance — real data
+	// stalls replace RVP's perfect operands.
+	for _, bench := range []string{"gzip", "mesa"} {
+		b, _ := trace.ByName(bench)
+		g := trace.MustGenerator(b.Profile, 22)
+		lead, _ := ooo.New(ooo.Default(), g, nuca.New(nuca.Config2DA(nuca.DistributedSets)))
+		oooIPC := lead.Run(60000).IPC()
+
+		st := runStandalone(t, bench, 60000)
+		if st.IPC() >= oooIPC {
+			t.Errorf("%s: degraded mode IPC %.2f should be below out-of-order %.2f",
+				bench, st.IPC(), oooIPC)
+		}
+	}
+}
+
+func TestStandaloneDependenceSensitivity(t *testing.T) {
+	// Without RVP, a serial-chain workload (mcf) should sit much further
+	// below a parallel one (galgel) than width alone explains.
+	chain := runStandalone(t, "mcf", 40000)
+	wide := runStandalone(t, "galgel", 40000)
+	if chain.IPC() >= wide.IPC() {
+		t.Errorf("mcf %.2f should be slower than galgel %.2f in order", chain.IPC(), wide.IPC())
+	}
+}
+
+func TestStandaloneRejectsInvalidConfig(t *testing.T) {
+	bad := Default()
+	bad.Width = 0
+	b, _ := trace.ByName("gzip")
+	g := trace.MustGenerator(b.Profile, 1)
+	if _, err := NewStandalone(bad, g, nuca.New(nuca.Config2DA(nuca.DistributedSets)), 300); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,90 @@
+// Package noc models the grid network that connects the L2 cache
+// controller to the NUCA banks. Following the paper's methodology
+// (§3.1), each hop costs four cycles — one link cycle plus three router
+// cycles (a conventional 4-stage router with the switch and VC
+// allocation stages overlapped) — and each router has the Orion-derived
+// power and area of Table 2: 0.296 W and 0.22 mm².
+package noc
+
+// Cost and physical constants from the paper.
+const (
+	// LinkCyclesPerHop is the wire-traversal latency of one hop.
+	LinkCyclesPerHop = 1
+	// RouterCyclesPerHop is the router pipeline latency of one hop.
+	RouterCyclesPerHop = 3
+	// CyclesPerHop is the total per-hop latency.
+	CyclesPerHop = LinkCyclesPerHop + RouterCyclesPerHop
+	// RouterPowerW is the average power of one router (Table 2).
+	RouterPowerW = 0.296
+	// RouterAreaMM2 is the area of one router (Table 2).
+	RouterAreaMM2 = 0.22
+	// FlitBits is the link width: 64-bit address + 256-bit data +
+	// 64-bit control (Table 4's L2 transfer pillar is the same width).
+	FlitBits = 384
+)
+
+// Network tracks traffic on a bank grid whose topology is summarized by
+// per-destination hop counts (the floorplan fixes actual placement; the
+// network only needs distances).
+type Network struct {
+	hops    []int
+	routers int
+
+	traversals uint64 // total router traversals (hops × accesses)
+	accesses   uint64
+}
+
+// New creates a network with the given per-bank hop distances from the
+// L2 controller. The router population is one per bank plus one at the
+// controller.
+func New(hopsPerBank []int) *Network {
+	h := make([]int, len(hopsPerBank))
+	copy(h, hopsPerBank)
+	return &Network{hops: h, routers: len(hopsPerBank) + 1}
+}
+
+// Banks returns the number of reachable banks.
+func (n *Network) Banks() int { return len(n.hops) }
+
+// Routers returns the router count.
+func (n *Network) Routers() int { return n.routers }
+
+// Hops returns the one-way hop distance to bank b.
+func (n *Network) Hops(b int) int { return n.hops[b] }
+
+// RoundTripCycles returns the request+response network latency to bank b.
+func (n *Network) RoundTripCycles(b int) int {
+	return 2 * n.hops[b] * CyclesPerHop
+}
+
+// Record accounts one access to bank b (request and response traverse
+// the distance once each).
+func (n *Network) Record(b int) {
+	n.accesses++
+	n.traversals += uint64(2 * n.hops[b])
+}
+
+// MeanHops returns the average one-way hop distance over all banks
+// (uniform access assumption, as with the distributed-sets policy).
+func (n *Network) MeanHops() float64 {
+	if len(n.hops) == 0 {
+		return 0
+	}
+	var s float64
+	for _, h := range n.hops {
+		s += float64(h)
+	}
+	return s / float64(len(n.hops))
+}
+
+// Traversals returns the total number of router traversals recorded.
+func (n *Network) Traversals() uint64 { return n.traversals }
+
+// Accesses returns the number of recorded accesses.
+func (n *Network) Accesses() uint64 { return n.accesses }
+
+// StaticPowerW returns the total router static power.
+func (n *Network) StaticPowerW() float64 { return float64(n.routers) * RouterPowerW }
+
+// TotalAreaMM2 returns the total router area.
+func (n *Network) TotalAreaMM2() float64 { return float64(n.routers) * RouterAreaMM2 }

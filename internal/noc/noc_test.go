@@ -1,0 +1,69 @@
+package noc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHopCost(t *testing.T) {
+	if CyclesPerHop != 4 {
+		t.Fatalf("paper: each hop costs 4 cycles (1 link + 3 router), got %d", CyclesPerHop)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	n := New([]int{1, 2})
+	if got := n.RoundTripCycles(0); got != 8 {
+		t.Errorf("1-hop round trip = %d, want 8", got)
+	}
+	if got := n.RoundTripCycles(1); got != 16 {
+		t.Errorf("2-hop round trip = %d, want 16", got)
+	}
+}
+
+func TestRecordAndTraversals(t *testing.T) {
+	n := New([]int{1, 3})
+	n.Record(0)
+	n.Record(1)
+	n.Record(1)
+	if n.Accesses() != 3 {
+		t.Errorf("Accesses = %d, want 3", n.Accesses())
+	}
+	if n.Traversals() != 2+6+6 {
+		t.Errorf("Traversals = %d, want 14", n.Traversals())
+	}
+}
+
+func TestMeanHops(t *testing.T) {
+	n := New([]int{1, 1, 2, 2})
+	if got := n.MeanHops(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("MeanHops = %v, want 1.5", got)
+	}
+	if New(nil).MeanHops() != 0 {
+		t.Error("empty network mean hops should be 0")
+	}
+}
+
+func TestPowerAndArea(t *testing.T) {
+	n := New([]int{1, 2, 3})
+	if n.Routers() != 4 {
+		t.Errorf("Routers = %d, want banks+1 = 4", n.Routers())
+	}
+	wantP := 4 * RouterPowerW
+	if math.Abs(n.StaticPowerW()-wantP) > 1e-12 {
+		t.Errorf("StaticPowerW = %v, want %v", n.StaticPowerW(), wantP)
+	}
+	wantA := 4 * RouterAreaMM2
+	if math.Abs(n.TotalAreaMM2()-wantA) > 1e-12 {
+		t.Errorf("TotalAreaMM2 = %v, want %v", n.TotalAreaMM2(), wantA)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	hops := []int{1, 2}
+	n := New(hops)
+	hops[0] = 99
+	if n.Hops(0) != 1 {
+		t.Error("New must copy the hops slice")
+	}
+}

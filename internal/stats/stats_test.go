@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{-1, 0}); got != 0 {
+		t.Errorf("GeoMean with no positives = %v, want 0", got)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 10}, []float64{9, 1})
+	if math.Abs(got-1.9) > 1e-12 {
+		t.Errorf("WeightedMean = %v, want 1.9", got)
+	}
+	if got := WeightedMean(nil, nil); got != 0 {
+		t.Errorf("empty WeightedMean = %v, want 0", got)
+	}
+}
+
+func TestWeightedMeanMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	if Max(xs) != 9 || Min(xs) != 1 {
+		t.Errorf("Max/Min wrong")
+	}
+	if got := Median(xs); got != 4 {
+		t.Errorf("Median = %v, want 4", got)
+	}
+	if got := Median([]float64{7}); got != 7 {
+		t.Errorf("Median single = %v, want 7", got)
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) should be 0")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("constant stddev = %v", got)
+	}
+	if got := Stddev([]float64{1}); got != 0 {
+		t.Errorf("single-sample stddev = %v", got)
+	}
+	got := Stddev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("stddev = %v, want 1", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.Add(0.05, 1)
+	h.Add(0.65, 2)
+	h.Add(0.65, 1)
+	if h.Total() != 4 {
+		t.Errorf("Total = %v, want 4", h.Total())
+	}
+	if h.ModeBin() != 6 {
+		t.Errorf("ModeBin = %v, want 6", h.ModeBin())
+	}
+	fr := h.Fractions()
+	if math.Abs(fr[6]-0.75) > 1e-12 {
+		t.Errorf("fraction = %v, want 0.75", fr[6])
+	}
+	if math.Abs(h.BinCenter(6)-0.65) > 1e-12 {
+		t.Errorf("BinCenter = %v, want 0.65", h.BinCenter(6))
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5, 1)
+	h.Add(99, 1)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Errorf("out-of-range samples must clamp: %v", h.Counts)
+	}
+}
+
+func TestHistogramWeightedMeanValue(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(0.5, 1)
+	h.Add(9.5, 1)
+	if got := h.WeightedMeanValue(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("WeightedMeanValue = %v, want 5", got)
+	}
+	empty := NewHistogram(0, 1, 2)
+	if empty.WeightedMeanValue() != 0 {
+		t.Error("empty histogram mean should be 0")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(0.1, 1)
+	s := h.String()
+	if !strings.Contains(s, "%") {
+		t.Errorf("String missing percent: %q", s)
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 0, 4)
+}
+
+func TestHistogramMassConservation(t *testing.T) {
+	f := func(samples []float64) bool {
+		h := NewHistogram(-1, 1, 8)
+		var want float64
+		for _, s := range samples {
+			h.Add(s, 1)
+			want++
+		}
+		var got float64
+		for _, c := range h.Counts {
+			got += c
+		}
+		return got == want && h.Total() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	f := func(samples []float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := NewHistogram(0, 1, 5)
+		for _, s := range samples {
+			h.Add(s, 1)
+		}
+		var sum float64
+		for _, fr := range h.Fractions() {
+			sum += fr
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("loads", 3)
+	c.Inc("loads", 2)
+	c.Inc("stores", 1)
+	if c.Get("loads") != 5 || c.Get("stores") != 1 || c.Get("missing") != 0 {
+		t.Errorf("counter values wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "loads" || names[1] != "stores" {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,350 @@
+// Package tech models process-technology parameters and their scaling
+// behaviour: ITRS device characteristics (Table 7 of the paper),
+// parameter-variation projections (Table 6), cross-node power scaling
+// (Table 8), SRAM soft-error-rate scaling (Figure 8), and multi-bit-upset
+// probability (Figure 9).
+//
+// The paper uses these models to argue that an *older* process makes the
+// checker die more error-resilient: larger critical charge (fewer soft
+// errors), smaller variability (fewer dynamic timing errors), lower
+// leakage — at the price of higher dynamic power and slower circuits.
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node identifies a process technology generation by its nominal feature
+// size in nanometres.
+type Node int
+
+// Technology generations referenced by the paper.
+const (
+	Node180 Node = 180
+	Node130 Node = 130
+	Node90  Node = 90
+	Node80  Node = 80
+	Node65  Node = 65
+	Node45  Node = 45
+	Node32  Node = 32
+)
+
+func (n Node) String() string { return fmt.Sprintf("%dnm", int(n)) }
+
+// Device holds the ITRS device-model parameters the paper reproduces in
+// its Table 7, plus derived circuit-speed and soft-error parameters used
+// elsewhere in the evaluation.
+type Device struct {
+	Node Node
+
+	// VoltageV is the nominal supply voltage in volts (Table 7).
+	VoltageV float64
+	// GateLengthNm is the printed gate length in nanometres (Table 7).
+	GateLengthNm float64
+	// CapPerUm is gate capacitance per micron of transistor width in
+	// farads (Table 7, "Capacitance per um").
+	CapPerUm float64
+	// LeakPerUm is sub-threshold leakage current per micron of width in
+	// arbitrary ITRS-normalized units (Table 7).
+	LeakPerUm float64
+
+	// FO4ps is the fanout-of-4 inverter delay in picoseconds. The paper's
+	// 18 FO4 pipeline at 2 GHz implies FO4(65nm) ≈ 27.8 ps; a stage that
+	// takes 500 ps at 65 nm takes 714 ps at 90 nm (§4), fixing the
+	// 90 nm / 65 nm FO4 ratio at 1.428.
+	FO4ps float64
+
+	// QcritFC is the critical charge of an SRAM cell in femtocoulombs;
+	// larger Qcrit means a particle strike is less likely to flip the
+	// cell. Decreases with scaling (drives Figures 8 and 9).
+	QcritFC float64
+	// QsFC is the charge-collection efficiency parameter in the
+	// Hazucha–Svensson SER model, in femtocoulombs.
+	QsFC float64
+	// BitAreaUm2 is the SRAM cell area in square microns (drives the
+	// per-chip total SER trend: per-bit SER falls but density rises).
+	BitAreaUm2 float64
+}
+
+// Variability holds the ITRS parameter-variation projections the paper
+// reproduces in Table 6, expressed as +/- percentage change from nominal.
+type Variability struct {
+	Node            Node
+	VthPct          float64 // threshold-voltage variability
+	CircuitPerfPct  float64 // circuit performance variability
+	CircuitPowerPct float64 // circuit power variability
+}
+
+var devices = map[Node]Device{
+	// 180/130 nm rows carry only the SER-related parameters (Figure 8).
+	Node180: {Node: Node180, VoltageV: 1.8, GateLengthNm: 100, CapPerUm: 17.0e-16, LeakPerUm: 0.006, FO4ps: 77.0, QcritFC: 16.0, QsFC: 10.0, BitAreaUm2: 4.84},
+	Node130: {Node: Node130, VoltageV: 1.5, GateLengthNm: 65, CapPerUm: 12.5e-16, LeakPerUm: 0.015, FO4ps: 55.6, QcritFC: 10.5, QsFC: 7.7, BitAreaUm2: 2.43},
+	Node90:  {Node: Node90, VoltageV: 1.2, GateLengthNm: 37, CapPerUm: 8.79e-16, LeakPerUm: 0.05, FO4ps: 39.7, QcritFC: 6.4, QsFC: 5.6, BitAreaUm2: 1.15},
+	Node65:  {Node: Node65, VoltageV: 1.1, GateLengthNm: 25, CapPerUm: 6.99e-16, LeakPerUm: 0.2, FO4ps: 27.8, QcritFC: 4.1, QsFC: 4.3, BitAreaUm2: 0.60},
+	Node45:  {Node: Node45, VoltageV: 1.0, GateLengthNm: 18, CapPerUm: 8.28e-16, LeakPerUm: 0.28, FO4ps: 19.4, QcritFC: 2.6, QsFC: 3.3, BitAreaUm2: 0.30},
+}
+
+var variability = []Variability{
+	{Node: Node80, VthPct: 26, CircuitPerfPct: 41, CircuitPowerPct: 55},
+	{Node: Node65, VthPct: 33, CircuitPerfPct: 45, CircuitPowerPct: 56},
+	{Node: Node45, VthPct: 42, CircuitPerfPct: 50, CircuitPowerPct: 58},
+	{Node: Node32, VthPct: 58, CircuitPerfPct: 57, CircuitPowerPct: 59},
+}
+
+// DeviceFor returns the device parameters for a node. It reports an error
+// for nodes outside the modeled set.
+func DeviceFor(n Node) (Device, error) {
+	d, ok := devices[n]
+	if !ok {
+		return Device{}, fmt.Errorf("tech: no device model for node %s", n)
+	}
+	return d, nil
+}
+
+// MustDevice is DeviceFor for nodes known statically; it panics on error.
+func MustDevice(n Node) Device {
+	d, err := DeviceFor(n)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// VariabilityTable returns the ITRS variability projections (Table 6) in
+// ascending order of scaling (descending feature size).
+func VariabilityTable() []Variability {
+	out := make([]Variability, len(variability))
+	copy(out, variability)
+	return out
+}
+
+// VariabilityFor returns the variability row for a node, if modeled.
+func VariabilityFor(n Node) (Variability, bool) {
+	for _, v := range variability {
+		if v.Node == n {
+			return v, true
+		}
+	}
+	return Variability{}, false
+}
+
+// PowerScaling holds the relative power of a fixed design implemented in
+// an older process, normalized to the newer process (Table 8). Values
+// above 1 mean the older process consumes more.
+type PowerScaling struct {
+	Old, New Node
+	Dynamic  float64
+	Leakage  float64
+}
+
+// ScalePower computes the Table 8 power-scaling factors from the Table 7
+// device parameters. Dynamic power scales as C·W·V² with total transistor
+// width W proportional to gate length (a fixed layout grows linearly with
+// the feature size); leakage scales as I_leak·W·V.
+func ScalePower(old, new Node) (PowerScaling, error) {
+	do, err := DeviceFor(old)
+	if err != nil {
+		return PowerScaling{}, err
+	}
+	dn, err := DeviceFor(new)
+	if err != nil {
+		return PowerScaling{}, err
+	}
+	wRatio := do.GateLengthNm / dn.GateLengthNm
+	vRatio := do.VoltageV / dn.VoltageV
+	dyn := (do.CapPerUm / dn.CapPerUm) * wRatio * vRatio * vRatio
+	lkg := (do.LeakPerUm / dn.LeakPerUm) * wRatio * vRatio
+	return PowerScaling{Old: old, New: new, Dynamic: dyn, Leakage: lkg}, nil
+}
+
+// DelayScale returns the circuit-delay ratio of implementing the same
+// logic in `old` vs `new` (>1 means the older process is slower). The
+// paper's §4 example: a 500 ps stage at 65 nm takes 714 ps at 90 nm.
+func DelayScale(old, new Node) (float64, error) {
+	do, err := DeviceFor(old)
+	if err != nil {
+		return 0, err
+	}
+	dn, err := DeviceFor(new)
+	if err != nil {
+		return 0, err
+	}
+	return do.FO4ps / dn.FO4ps, nil
+}
+
+// AreaScale returns the silicon-area ratio of implementing the same
+// design in `old` vs `new` (>1 for older). Linear dimensions scale with
+// the node's feature size, so area scales with its square. The paper's §4
+// uses this to shrink the top-die L2 from 9 MB to 5 MB when moving the
+// checker die from 65 nm to 90 nm at constant die area.
+func AreaScale(old, new Node) float64 {
+	return float64(old) * float64(old) / (float64(new) * float64(new))
+}
+
+// --- Soft errors (Figure 8) ----------------------------------------------
+
+// SERComponents carries the neutron- and alpha-induced per-bit soft error
+// rates for a node, normalized so that the 180 nm total is 1.0 — the
+// normalization used in the paper's Figure 8.
+type SERComponents struct {
+	Node    Node
+	Neutron float64
+	Alpha   float64
+}
+
+// Total returns the combined per-bit SER.
+func (s SERComponents) Total() float64 { return s.Neutron + s.Alpha }
+
+// serFluxNeutron and serFluxAlpha are Hazucha–Svensson prefactors chosen
+// so that the normalized 180 nm total equals 1.0 and the split between
+// neutron and alpha matches the experimental shape of Seifert et al.
+// (neutron-dominated at large geometries; alpha share growing as Qcrit
+// approaches the alpha-deposited charge).
+const (
+	serFluxNeutron = 18.5
+	serFluxAlpha   = 2.4
+	// alphaQsFactor reflects the shallower collection depth for alpha
+	// particles relative to neutrons.
+	alphaQsFactor = 0.62
+)
+
+// PerBitSER evaluates the Hazucha–Svensson-style per-bit soft error rate
+// model for a node:
+//
+//	SER = Flux × BitArea × exp(−Qcrit/Qs)
+//
+// for the neutron and alpha components separately, normalized to the
+// 180 nm total.
+func PerBitSER(n Node) (SERComponents, error) {
+	d, err := DeviceFor(n)
+	if err != nil {
+		return SERComponents{}, err
+	}
+	base := rawSER(MustDevice(Node180))
+	cur := rawSER(d)
+	norm := base.Neutron + base.Alpha
+	return SERComponents{
+		Node:    n,
+		Neutron: cur.Neutron / norm,
+		Alpha:   cur.Alpha / norm,
+	}, nil
+}
+
+func rawSER(d Device) SERComponents {
+	return SERComponents{
+		Node:    d.Node,
+		Neutron: serFluxNeutron * d.BitAreaUm2 * math.Exp(-d.QcritFC/d.QsFC),
+		Alpha:   serFluxAlpha * d.BitAreaUm2 * math.Exp(-d.QcritFC/(d.QsFC*alphaQsFactor)),
+	}
+}
+
+// ChipSER returns the *relative per-chip* SER for a fixed-area die at
+// node n, normalized to 180 nm: per-bit SER times bit density
+// (1/BitArea). The paper notes that although per-bit SER falls with
+// scaling, total chip SER rises because density grows faster.
+func ChipSER(n Node) (float64, error) {
+	s, err := PerBitSER(n)
+	if err != nil {
+		return 0, err
+	}
+	d := MustDevice(n)
+	d0 := MustDevice(Node180)
+	return s.Total() * (d0.BitAreaUm2 / d.BitAreaUm2), nil
+}
+
+// --- Multi-bit upsets (Figure 9) ------------------------------------------
+
+// MBUModel evaluates the probability that a single particle strike upsets
+// multiple adjacent bits, as a function of the cell critical charge in
+// femtocoulombs. Charge sharing between neighbouring cells grows
+// exponentially as Qcrit shrinks (Figure 9, after Seifert et al.).
+type MBUModel struct {
+	// P0 is the MBU probability asymptote as Qcrit → 0.
+	P0 float64
+	// QScaleFC sets how quickly MBU probability decays with Qcrit.
+	QScaleFC float64
+}
+
+// DefaultMBUModel is calibrated so that MBU probability is negligible
+// (<1e-4) at 180 nm-class critical charges (~16 fC) and rises towards a
+// few percent at 45 nm-class charges (~2.6 fC).
+var DefaultMBUModel = MBUModel{P0: 0.12, QScaleFC: 2.2}
+
+// Probability returns the per-upset probability that the upset is
+// multi-bit, for a cell with critical charge qcritFC.
+func (m MBUModel) Probability(qcritFC float64) float64 {
+	if qcritFC < 0 {
+		qcritFC = 0
+	}
+	return m.P0 * math.Exp(-qcritFC/m.QScaleFC)
+}
+
+// NodeMBU returns the MBU probability for a node's nominal critical
+// charge under the default model.
+func NodeMBU(n Node) (float64, error) {
+	d, err := DeviceFor(n)
+	if err != nil {
+		return 0, err
+	}
+	return DefaultMBUModel.Probability(d.QcritFC), nil
+}
+
+// --- Timing slack and dynamic timing errors --------------------------------
+
+// TimingModel captures how dynamic timing-error probability depends on
+// the slack left in a pipeline stage. A stage designed for cycle time T0
+// operated with actual period T has slack (T − T_crit)/T_crit where
+// T_crit = T0·delayScale is the critical-path delay (possibly stretched
+// by an older process). Variation is modeled as a Gaussian perturbation
+// of the critical path with sigma proportional to the node's circuit
+// performance variability.
+type TimingModel struct {
+	// SigmaFrac is the standard deviation of the *cycle-to-cycle*
+	// critical-path delay as a fraction of nominal. The Table 6 ±
+	// percentages are dominated by static die-to-die variation (binned
+	// out at test); only the dynamic share — temperature, supply noise,
+	// cross-coupling — produces dynamic timing errors, so SigmaFrac =
+	// variability × DynamicVariationShare / 3 (± treated as 3σ).
+	SigmaFrac float64
+}
+
+// DynamicVariationShare is the fraction of the ITRS variability budget
+// attributed to dynamic (per-cycle) effects.
+const DynamicVariationShare = 0.15
+
+// TimingModelFor derives a TimingModel from the node's Table 6 circuit
+// performance variability; nodes without a Table 6 row fall back to the
+// nearest modeled node.
+func TimingModelFor(n Node) TimingModel {
+	v, ok := VariabilityFor(n)
+	if !ok {
+		// Nearest available: 90 nm behaves like the 80 nm ITRS row.
+		switch {
+		case n >= Node90:
+			v, _ = VariabilityFor(Node80)
+		default:
+			v, _ = VariabilityFor(Node45)
+		}
+	}
+	return TimingModel{SigmaFrac: v.CircuitPerfPct / 100.0 * DynamicVariationShare / 3.0}
+}
+
+// ErrorProbability returns the per-stage, per-cycle probability that the
+// critical path misses the latching edge when the stage is operated with
+// period `periodPs` against a nominal critical-path delay `critPs`.
+func (t TimingModel) ErrorProbability(periodPs, critPs float64) float64 {
+	if critPs <= 0 {
+		return 0
+	}
+	sigma := t.SigmaFrac * critPs
+	if sigma <= 0 {
+		if periodPs >= critPs {
+			return 0
+		}
+		return 1
+	}
+	// P(delay > period) for delay ~ N(crit, sigma).
+	z := (periodPs - critPs) / sigma
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

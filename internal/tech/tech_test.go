@@ -1,0 +1,282 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4f, want %.4f (±%.4f)", name, got, want, tol)
+	}
+}
+
+func TestTable8DynamicScaling(t *testing.T) {
+	cases := []struct {
+		old, new Node
+		dyn      float64
+	}{
+		{Node90, Node65, 2.21},
+		{Node90, Node45, 3.14},
+		{Node65, Node45, 1.41},
+	}
+	for _, c := range cases {
+		s, err := ScalePower(c.old, c.new)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, c.old.String()+"/"+c.new.String()+" dynamic", s.Dynamic, c.dyn, 0.02)
+	}
+}
+
+func TestTable8LeakageScaling(t *testing.T) {
+	// The 65/45 paper value (0.99) omits the voltage factor the other two
+	// rows include; our model keeps the voltage factor consistently, so
+	// the tolerance on that row is wider (paper 0.99, model ~1.09).
+	cases := []struct {
+		old, new Node
+		lkg, tol float64
+	}{
+		{Node90, Node65, 0.40, 0.01},
+		{Node90, Node45, 0.44, 0.01},
+		{Node65, Node45, 0.99, 0.11},
+	}
+	for _, c := range cases {
+		s, err := ScalePower(c.old, c.new)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, c.old.String()+"/"+c.new.String()+" leakage", s.Leakage, c.lkg, c.tol)
+	}
+}
+
+func TestScalePowerUnknownNode(t *testing.T) {
+	if _, err := ScalePower(Node(55), Node65); err == nil {
+		t.Fatal("expected error for unmodeled node")
+	}
+	if _, err := ScalePower(Node90, Node(55)); err == nil {
+		t.Fatal("expected error for unmodeled node")
+	}
+}
+
+func TestDelayScale90vs65(t *testing.T) {
+	// §4: a 500 ps stage at 65 nm takes 714 ps at 90 nm.
+	r, err := DelayScale(Node90, Node65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "delay ratio 90/65", 500*r, 714, 5)
+}
+
+func TestDelayScaleIdentity(t *testing.T) {
+	r, err := DelayScale(Node65, Node65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "identity delay", r, 1.0, 1e-12)
+}
+
+func TestAreaScale(t *testing.T) {
+	// 90 nm die holds roughly half the transistors of a 65 nm die of the
+	// same size: 9 MB of top-die L2 becomes ~5 MB (§4).
+	got := 9.0 / AreaScale(Node90, Node65)
+	if got < 4.3 || got > 5.5 {
+		t.Errorf("9MB at 65nm → %.2f MB at 90nm, want ≈5", got)
+	}
+}
+
+func TestVariabilityTableMatchesPaper(t *testing.T) {
+	want := []Variability{
+		{Node80, 26, 41, 55},
+		{Node65, 33, 45, 56},
+		{Node45, 42, 50, 58},
+		{Node32, 58, 57, 59},
+	}
+	got := VariabilityTable()
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVariabilityMonotone(t *testing.T) {
+	rows := VariabilityTable()
+	for i := 1; i < len(rows); i++ {
+		if rows[i].VthPct <= rows[i-1].VthPct {
+			t.Errorf("Vth variability should grow with scaling: %v vs %v", rows[i], rows[i-1])
+		}
+		if rows[i].CircuitPerfPct <= rows[i-1].CircuitPerfPct {
+			t.Errorf("perf variability should grow with scaling")
+		}
+	}
+}
+
+func TestPerBitSERDecreasesWithScaling(t *testing.T) {
+	// Figure 8 shape: per-bit SER normalized to 1.0 at 180 nm and
+	// decreasing monotonically towards 65 nm.
+	nodes := []Node{Node180, Node130, Node90, Node65}
+	prev := math.Inf(1)
+	for _, n := range nodes {
+		s, err := PerBitSER(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot := s.Total()
+		if tot <= 0 {
+			t.Fatalf("%s: non-positive SER %v", n, tot)
+		}
+		if tot >= prev+1e-12 {
+			t.Errorf("%s: per-bit SER %.3f not decreasing (prev %.3f)", n, tot, prev)
+		}
+		prev = tot
+	}
+	s180, _ := PerBitSER(Node180)
+	approx(t, "180nm normalized total", s180.Total(), 1.0, 1e-9)
+}
+
+func TestPerBitSERComponentsPositive(t *testing.T) {
+	for _, n := range []Node{Node180, Node130, Node90, Node65, Node45} {
+		s, err := PerBitSER(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Neutron <= 0 || s.Alpha <= 0 {
+			t.Errorf("%s: components must be positive: %+v", n, s)
+		}
+	}
+}
+
+func TestChipSERIncreasesWithScaling(t *testing.T) {
+	// The paper: overall (per-chip) error rate increases with scaling
+	// because density outpaces the per-bit improvement.
+	nodes := []Node{Node180, Node130, Node90, Node65}
+	prev := 0.0
+	for _, n := range nodes {
+		c, err := ChipSER(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= prev {
+			t.Errorf("%s: chip SER %.3f not increasing (prev %.3f)", n, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestMBUIncreasesAsQcritShrinks(t *testing.T) {
+	m := DefaultMBUModel
+	prev := -1.0
+	for q := 20.0; q >= 0; q -= 0.5 {
+		p := m.Probability(q)
+		if p < 0 || p > 1 {
+			t.Fatalf("MBU probability out of range: %v at q=%v", p, q)
+		}
+		if p <= prev {
+			t.Fatalf("MBU probability must increase as Qcrit shrinks (q=%v)", q)
+		}
+		prev = p
+	}
+}
+
+func TestMBUNegativeChargeClamped(t *testing.T) {
+	m := DefaultMBUModel
+	if got, want := m.Probability(-5), m.Probability(0); got != want {
+		t.Errorf("negative charge should clamp to 0: %v vs %v", got, want)
+	}
+}
+
+func TestNodeMBUOrdering(t *testing.T) {
+	p90, err := NodeMBU(Node90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p65, err := NodeMBU(Node65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p45, err := NodeMBU(Node45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p90 < p65 && p65 < p45) {
+		t.Errorf("MBU must grow with scaling: 90=%v 65=%v 45=%v", p90, p65, p45)
+	}
+}
+
+func TestTimingModelSlackReducesErrors(t *testing.T) {
+	tm := TimingModelFor(Node65)
+	crit := 500.0
+	pTight := tm.ErrorProbability(500, crit) // zero slack
+	pLoose := tm.ErrorProbability(833, crit) // 0.6f operation: period = 1/0.6 ×
+	pHuge := tm.ErrorProbability(5000, crit) // 0.1f
+	if !(pTight > pLoose && pLoose > pHuge) {
+		t.Errorf("error probability must fall with slack: %v %v %v", pTight, pLoose, pHuge)
+	}
+	approx(t, "zero-slack probability", pTight, 0.5, 1e-9)
+	if pHuge > 1e-9 {
+		t.Errorf("10x slack should make errors negligible, got %v", pHuge)
+	}
+}
+
+func TestTimingModelOlderProcessLessVariable(t *testing.T) {
+	older := TimingModelFor(Node90)
+	newer := TimingModelFor(Node45)
+	if older.SigmaFrac >= newer.SigmaFrac {
+		t.Errorf("older node should have lower variability: %v vs %v", older.SigmaFrac, newer.SigmaFrac)
+	}
+}
+
+func TestTimingErrorProbabilityProperties(t *testing.T) {
+	tm := TimingModelFor(Node65)
+	f := func(period, crit uint16) bool {
+		p := tm.ErrorProbability(float64(period), float64(crit)+1)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimingErrorMonotoneInPeriod(t *testing.T) {
+	tm := TimingModelFor(Node65)
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return tm.ErrorProbability(hi, 400) <= tm.ErrorProbability(lo, 400)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustDevicePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown node")
+		}
+	}()
+	MustDevice(Node(7))
+}
+
+func TestDeviceTable7Values(t *testing.T) {
+	d90 := MustDevice(Node90)
+	if d90.VoltageV != 1.2 || d90.GateLengthNm != 37 || d90.CapPerUm != 8.79e-16 || d90.LeakPerUm != 0.05 {
+		t.Errorf("90nm Table 7 mismatch: %+v", d90)
+	}
+	d65 := MustDevice(Node65)
+	if d65.VoltageV != 1.1 || d65.GateLengthNm != 25 || d65.CapPerUm != 6.99e-16 || d65.LeakPerUm != 0.2 {
+		t.Errorf("65nm Table 7 mismatch: %+v", d65)
+	}
+	d45 := MustDevice(Node45)
+	if d45.VoltageV != 1.0 || d45.GateLengthNm != 18 || d45.CapPerUm != 8.28e-16 || d45.LeakPerUm != 0.28 {
+		t.Errorf("45nm Table 7 mismatch: %+v", d45)
+	}
+}

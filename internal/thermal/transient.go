@@ -1,0 +1,201 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Volumetric heat capacities in J/(m³·K) for the transient model
+// (HotSpot's constants: silicon ≈ 1.75e6, copper ≈ 3.55e6; the composite
+// metal/ILD and d2d layers sit between).
+const (
+	SiHeatCapacity    = 1.75e6
+	CuHeatCapacity    = 3.55e6
+	MetalHeatCapacity = 2.5e6
+	D2DHeatCapacity   = 2.0e6
+)
+
+// capacityFor maps a layer to its volumetric heat capacity by material
+// (matched on resistivity, which identifies the material in this model).
+func capacityFor(l Layer) float64 {
+	switch l.Resistivity {
+	case SiResistivity:
+		return SiHeatCapacity
+	case CuResistivity:
+		return MetalHeatCapacity
+	case D2DResistivity:
+		return D2DHeatCapacity
+	case CuPlateResistivity:
+		return CuHeatCapacity
+	default:
+		return SiHeatCapacity
+	}
+}
+
+// Transient wraps a Solver with per-cell thermal capacitance and an
+// explicit time-stepping integrator, for DTM studies where temperature
+// chases a time-varying power map (the paper invokes DTM as the
+// alternative to over-provisioned cooling in §3.2).
+type Transient struct {
+	s *Solver
+	// capJ is each cell's heat capacity in joules per kelvin.
+	capJ []float64
+	// maxStablePs is the largest stable explicit-Euler step.
+	maxStablePs float64
+	timePs      float64
+	scratch     []float64
+}
+
+// NewTransient builds a transient integrator over a fresh solver for the
+// given stack.
+func NewTransient(cfg Config) *Transient {
+	s := NewSolver(cfg)
+	t := &Transient{s: s}
+	cellWm := cfg.DieWmm / float64(cfg.Nx) * 1e-3
+	cellHm := cfg.DieHmm / float64(cfg.Ny) * 1e-3
+	t.capJ = make([]float64, len(s.temp))
+	minTau := math.Inf(1)
+	for l := 0; l < s.nl; l++ {
+		vol := cellWm * cellHm * cfg.Layers[l].ThicknessUm * 1e-6
+		c := capacityFor(cfg.Layers[l]) * vol
+		// Total conductance bound for the stability estimate.
+		g := 4 * s.gLat[l]
+		if l > 0 {
+			g += s.gUp[l-1]
+		} else {
+			g += s.gSink
+		}
+		if l < s.nl-1 {
+			g += s.gUp[l]
+		} else {
+			g += s.gPack
+		}
+		if tau := c / g; tau < minTau {
+			minTau = tau
+		}
+		for y := 0; y < s.ny; y++ {
+			for x := 0; x < s.nx; x++ {
+				t.capJ[s.idx(l, y, x)] = c
+			}
+		}
+	}
+	// Explicit Euler is stable below ~2·τ_min; keep a 4× margin.
+	t.maxStablePs = minTau / 2 * 1e12
+	t.scratch = make([]float64, len(s.temp))
+	return t
+}
+
+// Solver exposes the underlying steady-state solver (power maps,
+// temperature readout).
+func (t *Transient) Solver() *Solver { return t.s }
+
+// TimePs returns the integrated simulation time.
+func (t *Transient) TimePs() float64 { return t.timePs }
+
+// MaxStepPs returns the largest allowed integration step.
+func (t *Transient) MaxStepPs() float64 { return t.maxStablePs }
+
+// Step advances the temperature field by dtPs picoseconds using
+// explicit Euler, internally sub-stepping to stay within the stability
+// bound. It returns an error for non-positive steps.
+func (t *Transient) Step(dtPs float64) error {
+	if dtPs <= 0 {
+		return fmt.Errorf("thermal: non-positive step %v", dtPs)
+	}
+	s := t.s
+	remaining := dtPs
+	for remaining > 0 {
+		h := remaining
+		if h > t.maxStablePs {
+			h = t.maxStablePs
+		}
+		remaining -= h
+		hSec := h * 1e-12
+		// One explicit update: dT = (P − Σ G·(T−T_neighbor)) · h / C.
+		next := t.scratch
+		for l := 0; l < s.nl; l++ {
+			for y := 0; y < s.ny; y++ {
+				for x := 0; x < s.nx; x++ {
+					i := s.idx(l, y, x)
+					ti := s.temp[i]
+					var flow float64
+					if l > 0 {
+						flow += s.gUp[l-1] * (s.temp[s.idx(l-1, y, x)] - ti)
+					} else {
+						flow += s.gSink * (s.cfg.AmbientC - ti)
+					}
+					if l < s.nl-1 {
+						flow += s.gUp[l] * (s.temp[s.idx(l+1, y, x)] - ti)
+					} else {
+						flow += s.gPack * (s.cfg.AmbientC - ti)
+					}
+					gl := s.gLat[l]
+					if x > 0 {
+						flow += gl * (s.temp[i-1] - ti)
+					}
+					if x < s.nx-1 {
+						flow += gl * (s.temp[i+1] - ti)
+					}
+					if y > 0 {
+						flow += gl * (s.temp[i-s.nx] - ti)
+					}
+					if y < s.ny-1 {
+						flow += gl * (s.temp[i+s.nx] - ti)
+					}
+					next[i] = ti + (flow+s.power[i])*hSec/t.capJ[i]
+				}
+			}
+		}
+		s.temp, t.scratch = next, s.temp
+		t.timePs += h
+	}
+	return nil
+}
+
+// CopyStateFrom copies another solver's temperature field (the
+// geometries must match); used to start a transient study from a solved
+// steady state.
+func (s *Solver) CopyStateFrom(src *Solver) error {
+	if len(src.temp) != len(s.temp) {
+		return fmt.Errorf("thermal: geometry mismatch (%d vs %d cells)", len(src.temp), len(s.temp))
+	}
+	copy(s.temp, src.temp)
+	return nil
+}
+
+// HeatmapASCII renders one layer's temperature field as a character
+// raster (coarse but invaluable for eyeballing power-map placement).
+// Rows are emitted top edge first.
+func (s *Solver) HeatmapASCII(layer, cols int) string {
+	if cols <= 0 || cols > s.nx {
+		cols = s.nx
+	}
+	ramp := []byte(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for y := 0; y < s.ny; y++ {
+		for x := 0; x < s.nx; x++ {
+			t := s.temp[s.idx(layer, y, x)]
+			lo = math.Min(lo, t)
+			hi = math.Max(hi, t)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "layer %d: %.1f–%.1f °C\n", layer, lo, hi)
+	step := s.nx / cols
+	if step < 1 {
+		step = 1
+	}
+	for y := s.ny - 1; y >= 0; y -= step {
+		for x := 0; x < s.nx; x += step {
+			t := s.temp[s.idx(layer, y, x)]
+			idx := 0
+			if hi > lo {
+				idx = int((t - lo) / (hi - lo) * float64(len(ramp)-1))
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,420 @@
+// Package trace generates the synthetic workloads that stand in for the
+// paper's SPEC2k binaries (the original Alpha executables and Simpoint
+// windows are not available; see DESIGN.md §2). Each of the 19 benchmark
+// names used in the paper's Figures 5 and 6 maps to a statistical
+// profile — instruction mix, branch-site population and behaviour,
+// memory working-set structure, and dependence distance — and a
+// deterministic generator expands a profile into an infinite stream of
+// isa.Inst records. The streams are fed through the *real* branch
+// predictor and cache structures of the simulator, so misprediction and
+// miss rates are emergent, not scripted.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"r3d/internal/isa"
+)
+
+// Region bases keep the four working-set regions disjoint.
+const (
+	hotBase  = 0x1000_0000
+	midBase  = 0x2000_0000
+	warmBase = 0x4000_0000
+	coldBase = 0x8000_0000
+	codeBase = 0x0040_0000
+)
+
+// BranchKind classifies the behaviour of one static branch site.
+type BranchKind uint8
+
+const (
+	// BiasedBranch follows a fixed direction with high probability.
+	BiasedBranch BranchKind = iota
+	// LoopBranch is taken n−1 out of every n executions (backward edge).
+	LoopBranch
+	// PatternBranch repeats a short deterministic taken/not-taken
+	// pattern, predictable with local history.
+	PatternBranch
+	// RandomBranch is data-dependent and unpredictable.
+	RandomBranch
+)
+
+// Profile is the statistical description of one workload.
+type Profile struct {
+	Name string
+	// FP marks SPEC2k floating-point benchmarks.
+	FP bool
+
+	// Instruction mix (fractions of the dynamic stream; the remainder
+	// after loads/stores/branches/FP/mult is integer ALU work).
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	FPFrac     float64 // of non-memory, non-branch work
+	MulFrac    float64 // of non-memory, non-branch work
+
+	// Branch-site population.
+	BranchSites  int
+	LoopFrac     float64 // fraction of sites that are loop branches
+	PatternFrac  float64 // fraction of sites with a history-predictable pattern
+	RandomFrac   float64 // fraction of sites that are data-dependent
+	Bias         float64 // probability a biased site follows its direction
+	MeanLoopTrip int     // mean loop trip count for loop sites
+
+	// Memory behaviour: four-region working-set model.
+	//
+	//   hot  — random over an L1-resident region (HotBytes);
+	//   mid  — random over an L2-resident region (MidBytes): L1 misses
+	//          that hit in the L2, the traffic that makes the NUCA hit
+	//          latency matter;
+	//   warm — random over a capacity-straddling region (WarmBytes,
+	//          typically between the 6 MB and 15 MB L2 sizes): the
+	//          source of the paper's small 6→15 MB miss-rate gain;
+	//   cold — a streaming pointer through ColdBytes with stride
+	//          ColdStride: compulsory L2 misses at any capacity.
+	//
+	// HotFrac/MidFrac/WarmFrac give reference fractions; cold gets the
+	// remainder.
+	HotBytes  int
+	MidBytes  int
+	WarmBytes int
+	ColdBytes int
+	HotFrac   float64
+	MidFrac   float64
+	WarmFrac  float64
+	// ColdStride is the streaming stride in bytes through the cold
+	// region (cache-line-sized strides defeat spatial reuse; smaller
+	// strides enjoy it).
+	ColdStride int
+
+	// CodeBytes is the instruction footprint (drives L1I/BTB behaviour).
+	CodeBytes int
+
+	// DepDist is the mean register dependence distance: how many
+	// instructions back a source operand's producer is. Small values
+	// create serial chains (low ILP); large values expose parallelism.
+	DepDist float64
+}
+
+// Validate reports an error for out-of-range profile parameters.
+func (p Profile) Validate() error {
+	frac := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("profile %s: %s=%v outside [0,1]", p.Name, name, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		n string
+		v float64
+	}{
+		{"LoadFrac", p.LoadFrac}, {"StoreFrac", p.StoreFrac}, {"BranchFrac", p.BranchFrac},
+		{"FPFrac", p.FPFrac}, {"MulFrac", p.MulFrac}, {"LoopFrac", p.LoopFrac},
+		{"PatternFrac", p.PatternFrac}, {"RandomFrac", p.RandomFrac}, {"Bias", p.Bias},
+		{"HotFrac", p.HotFrac}, {"MidFrac", p.MidFrac}, {"WarmFrac", p.WarmFrac},
+	} {
+		if err := frac(c.n, c.v); err != nil {
+			return err
+		}
+	}
+	if p.LoadFrac+p.StoreFrac+p.BranchFrac > 1 {
+		return fmt.Errorf("profile %s: mix fractions exceed 1", p.Name)
+	}
+	if p.HotFrac+p.MidFrac+p.WarmFrac > 1 {
+		return fmt.Errorf("profile %s: region fractions exceed 1", p.Name)
+	}
+	if p.LoopFrac+p.PatternFrac+p.RandomFrac > 1 {
+		return fmt.Errorf("profile %s: branch-kind fractions exceed 1", p.Name)
+	}
+	if p.BranchSites <= 0 || p.HotBytes <= 0 || p.CodeBytes <= 0 || p.DepDist < 1 {
+		return fmt.Errorf("profile %s: non-positive population parameter", p.Name)
+	}
+	return nil
+}
+
+type branchSite struct {
+	pc     uint64
+	target uint64 // taken target
+	kind   BranchKind
+	bias   bool   // direction for biased sites
+	trip   int    // loop trip count for loop sites
+	count  int    // executions since last loop exit
+	pat    uint32 // pattern bits for pattern sites
+	patLen int
+	patPos int
+}
+
+// Generator expands a Profile into a deterministic instruction stream.
+type Generator struct {
+	prof  Profile
+	rng   *rand.Rand
+	seq   uint64
+	pc    uint64
+	sites []branchSite
+	// ring of recent destination registers for dependence construction
+	recent   []isa.Reg
+	recentFP []isa.Reg
+	nextInt  isa.Reg
+	nextFP   isa.Reg
+	coldPtr  uint64
+	// regVal tracks architectural register values so that generated
+	// streams are value-consistent: an instruction's Src1Val/Src2Val
+	// always equal the Value last written to those registers. The RMT
+	// checker relies on this to perform real register-value-prediction
+	// verification.
+	regVal [isa.NumRegs]uint64
+	// run-length state: instructions until the next branch site
+	untilBranch int
+	siteIdx     int
+	// mix thresholds normalized to non-branch slots so the whole-stream
+	// fractions match the profile
+	loadCut, memCut float64
+}
+
+// NewGenerator builds a generator for prof with the given seed. The same
+// (profile, seed) pair always produces the identical stream.
+func NewGenerator(prof Profile, seed int64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		prof:     prof,
+		rng:      rand.New(rand.NewSource(seed)),
+		pc:       codeBase,
+		recent:   make([]isa.Reg, 0, 64),
+		recentFP: make([]isa.Reg, 0, 64),
+	}
+	g.buildSites()
+	g.untilBranch = g.gapLength()
+	nonBranch := 1 - prof.BranchFrac
+	if nonBranch <= 0 {
+		nonBranch = 1
+	}
+	g.loadCut = prof.LoadFrac / nonBranch
+	g.memCut = (prof.LoadFrac + prof.StoreFrac) / nonBranch
+	return g, nil
+}
+
+// MustGenerator is NewGenerator for statically known profiles.
+func MustGenerator(prof Profile, seed int64) *Generator {
+	g, err := NewGenerator(prof, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+func (g *Generator) buildSites() {
+	n := g.prof.BranchSites
+	g.sites = make([]branchSite, n)
+	for i := range g.sites {
+		pc := codeBase + uint64(g.rng.Intn(g.prof.CodeBytes/4))*4
+		s := branchSite{pc: pc}
+		r := g.rng.Float64()
+		switch {
+		case r < g.prof.LoopFrac:
+			s.kind = LoopBranch
+			s.trip = 2 + g.rng.Intn(2*g.prof.MeanLoopTrip)
+			// Backward target.
+			back := uint64(4 * (4 + g.rng.Intn(40)))
+			if pc > codeBase+back {
+				s.target = pc - back
+			} else {
+				s.target = codeBase
+			}
+		case r < g.prof.LoopFrac+g.prof.PatternFrac:
+			s.kind = PatternBranch
+			s.patLen = 2 + g.rng.Intn(6)
+			s.pat = g.rng.Uint32()
+			s.target = codeBase + uint64(g.rng.Intn(g.prof.CodeBytes/4))*4
+		case r < g.prof.LoopFrac+g.prof.PatternFrac+g.prof.RandomFrac:
+			s.kind = RandomBranch
+			s.target = codeBase + uint64(g.rng.Intn(g.prof.CodeBytes/4))*4
+		default:
+			s.kind = BiasedBranch
+			s.bias = g.rng.Float64() < 0.6 // taken-biased more common
+			s.target = codeBase + uint64(g.rng.Intn(g.prof.CodeBytes/4))*4
+		}
+		g.sites[i] = s
+	}
+}
+
+// gapLength returns the number of non-branch instructions before the
+// next branch, keeping the long-run branch fraction at BranchFrac.
+func (g *Generator) gapLength() int {
+	if g.prof.BranchFrac <= 0 {
+		return 1 << 30
+	}
+	mean := 1/g.prof.BranchFrac - 1
+	// Geometric around the mean, min 0.
+	gap := int(g.rng.ExpFloat64() * mean)
+	if gap < 0 {
+		gap = 0
+	}
+	if gap > 4*int(mean)+8 {
+		gap = 4*int(mean) + 8
+	}
+	return gap
+}
+
+// pickSrc returns a source register roughly DepDist instructions back in
+// the producer history, falling back to the zero register when history
+// is short.
+func (g *Generator) pickSrc(fp bool) isa.Reg {
+	ring := g.recent
+	zero := isa.Reg(isa.ZeroReg)
+	if fp {
+		ring = g.recentFP
+		zero = isa.Reg(isa.NumIntRegs + isa.ZeroReg)
+	}
+	if len(ring) == 0 {
+		return zero
+	}
+	d := int(g.rng.ExpFloat64()*g.prof.DepDist) + 1
+	if d > len(ring) {
+		d = len(ring)
+	}
+	return ring[len(ring)-d]
+}
+
+func (g *Generator) pickDest(fp bool) isa.Reg {
+	if fp {
+		r := isa.Reg(isa.NumIntRegs) + g.nextFP
+		g.nextFP = (g.nextFP + 1) % (isa.NumFPRegs - 1) // skip f31
+		g.recentFP = appendRing(g.recentFP, r)
+		return r
+	}
+	r := g.nextInt
+	g.nextInt = (g.nextInt + 1) % (isa.NumIntRegs - 1) // skip r31
+	g.recent = appendRing(g.recent, r)
+	return r
+}
+
+func appendRing(ring []isa.Reg, r isa.Reg) []isa.Reg {
+	if len(ring) == cap(ring) {
+		copy(ring, ring[1:])
+		ring = ring[:len(ring)-1]
+	}
+	return append(ring, r)
+}
+
+// dataAddr draws a data address from the four-region working-set model.
+func (g *Generator) dataAddr() uint64 {
+	r := g.rng.Float64()
+	hot := g.prof.HotFrac
+	mid := hot + g.prof.MidFrac
+	warm := mid + g.prof.WarmFrac
+	switch {
+	case r < hot:
+		return hotBase + uint64(g.rng.Intn(g.prof.HotBytes/8))*8
+	case r < mid && g.prof.MidBytes > 0:
+		return midBase + uint64(g.rng.Intn(g.prof.MidBytes/8))*8
+	case r < warm && g.prof.WarmBytes > 0:
+		return warmBase + uint64(g.rng.Intn(g.prof.WarmBytes/8))*8
+	default:
+		if g.prof.ColdBytes <= 0 {
+			return hotBase + uint64(g.rng.Intn(g.prof.HotBytes/8))*8
+		}
+		g.coldPtr += uint64(g.prof.ColdStride)
+		if g.coldPtr >= uint64(g.prof.ColdBytes) {
+			g.coldPtr = 0
+		}
+		return coldBase + g.coldPtr
+	}
+}
+
+// Next returns the next dynamic instruction. The stream is infinite.
+func (g *Generator) Next() isa.Inst {
+	in := isa.Inst{Seq: g.seq, PC: g.pc}
+	g.seq++
+
+	if g.untilBranch <= 0 {
+		g.emitBranch(&in)
+		g.untilBranch = g.gapLength()
+		return in
+	}
+	g.untilBranch--
+
+	r := g.rng.Float64()
+	switch {
+	case r < g.loadCut:
+		in.Op = isa.Load
+		in.Addr = g.dataAddr()
+		in.Src1 = g.pickSrc(false)
+		in.Dest = g.pickDest(g.prof.FP && g.rng.Float64() < g.prof.FPFrac)
+	case r < g.memCut:
+		in.Op = isa.Store
+		in.Addr = g.dataAddr()
+		in.Src1 = g.pickSrc(false)                                        // address
+		in.Src2 = g.pickSrc(g.prof.FP && g.rng.Float64() < g.prof.FPFrac) // data
+		in.Dest = isa.ZeroReg
+	default:
+		fp := g.rng.Float64() < g.prof.FPFrac
+		mul := g.rng.Float64() < g.prof.MulFrac
+		switch {
+		case fp && mul:
+			in.Op = isa.FPMult
+		case fp:
+			in.Op = isa.FPALU
+		case mul:
+			in.Op = isa.IntMult
+		default:
+			in.Op = isa.IntALU
+		}
+		in.Src1 = g.pickSrc(fp)
+		in.Src2 = g.pickSrc(fp)
+		in.Dest = g.pickDest(fp)
+	}
+	in.Src1Val = g.regVal[in.Src1]
+	in.Src2Val = g.regVal[in.Src2]
+	in.Value = g.rng.Uint64()
+	if in.HasDest() {
+		g.regVal[in.Dest] = in.Value
+	}
+	g.pc += 4
+	return in
+}
+
+func (g *Generator) emitBranch(in *isa.Inst) {
+	s := &g.sites[g.siteIdx]
+	g.siteIdx = (g.siteIdx + 1) % len(g.sites)
+
+	in.Op = isa.BranchCond
+	in.PC = s.pc
+	in.Dest = isa.ZeroReg
+	in.Src1 = g.pickSrc(false)
+	in.Src1Val = g.regVal[in.Src1]
+	in.Src2Val = g.regVal[in.Src2]
+	in.Target = s.target
+	g.pc = s.pc // the stream "was at" the branch
+
+	switch s.kind {
+	case LoopBranch:
+		s.count++
+		if s.count >= s.trip {
+			s.count = 0
+			in.Taken = false
+		} else {
+			in.Taken = true
+		}
+	case PatternBranch:
+		in.Taken = s.pat>>uint(s.patPos)&1 == 1
+		s.patPos = (s.patPos + 1) % s.patLen
+	case RandomBranch:
+		in.Taken = g.rng.Intn(2) == 0
+	default: // BiasedBranch
+		follow := g.rng.Float64() < g.prof.Bias
+		in.Taken = s.bias == follow
+	}
+	if in.Taken {
+		g.pc = in.Target
+	} else {
+		g.pc = in.PC + 4
+	}
+	in.Value = 0
+}

@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"r3d/internal/isa"
+)
+
+func TestSuiteShape(t *testing.T) {
+	s := Suite()
+	if len(s) != 19 {
+		t.Fatalf("suite has %d benchmarks, want 19 (paper: 7 int + 12 fp)", len(s))
+	}
+	seen := map[string]bool{}
+	for _, b := range s {
+		if seen[b.Profile.Name] {
+			t.Errorf("duplicate benchmark %q", b.Profile.Name)
+		}
+		seen[b.Profile.Name] = true
+		if err := b.Profile.Validate(); err != nil {
+			t.Errorf("profile invalid: %v", err)
+		}
+	}
+	for _, name := range []string{"mcf", "art", "swim", "mesa", "gzip"} {
+		if !seen[name] {
+			t.Errorf("missing paper benchmark %q", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("mcf")
+	if err != nil || b.Profile.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", b.Profile.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if len(Names()) != 19 {
+		t.Fatal("Names length mismatch")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	good := Suite()[0].Profile
+	cases := []func(*Profile){
+		func(p *Profile) { p.LoadFrac = 1.5 },
+		func(p *Profile) { p.LoadFrac, p.StoreFrac, p.BranchFrac = 0.5, 0.4, 0.3 },
+		func(p *Profile) { p.HotFrac, p.MidFrac, p.WarmFrac = 0.8, 0.3, 0.1 },
+		func(p *Profile) { p.BranchSites = 0 },
+		func(p *Profile) { p.DepDist = 0 },
+		func(p *Profile) { p.LoopFrac, p.PatternFrac, p.RandomFrac = 0.5, 0.4, 0.2 },
+	}
+	for i, mutate := range cases {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	b, _ := ByName("gzip")
+	g1 := MustGenerator(b.Profile, 42)
+	g2 := MustGenerator(b.Profile, 42)
+	for i := 0; i < 5000; i++ {
+		a, c := g1.Next(), g2.Next()
+		if a != c {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a, c)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	b, _ := ByName("gzip")
+	g1 := MustGenerator(b.Profile, 1)
+	g2 := MustGenerator(b.Profile, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if g1.Next().Op == g2.Next().Op {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different seeds produced identical op streams")
+	}
+}
+
+func TestSequenceNumbersMonotone(t *testing.T) {
+	g := MustGenerator(Suite()[0].Profile, 3)
+	var prev uint64
+	for i := 0; i < 1000; i++ {
+		in := g.Next()
+		if i > 0 && in.Seq != prev+1 {
+			t.Fatalf("Seq not contiguous: %d after %d", in.Seq, prev)
+		}
+		prev = in.Seq
+	}
+}
+
+func TestMixMatchesProfile(t *testing.T) {
+	for _, name := range []string{"gzip", "swim", "mcf"} {
+		b, _ := ByName(name)
+		g := MustGenerator(b.Profile, 9)
+		const n = 200000
+		var loads, stores, branches, fp float64
+		for i := 0; i < n; i++ {
+			in := g.Next()
+			switch {
+			case in.Op == isa.Load:
+				loads++
+			case in.Op == isa.Store:
+				stores++
+			case in.Op.IsBranch():
+				branches++
+			case in.Op.IsFP():
+				fp++
+			}
+		}
+		check := func(what string, got, want float64) {
+			t.Helper()
+			if math.Abs(got/n-want) > 0.03 {
+				t.Errorf("%s: %s fraction %.3f, want ≈%.3f", name, what, got/n, want)
+			}
+		}
+		check("load", loads, b.Profile.LoadFrac)
+		check("store", stores, b.Profile.StoreFrac)
+		check("branch", branches, b.Profile.BranchFrac)
+		if b.Profile.FP && fp == 0 {
+			t.Errorf("%s: FP benchmark generated no FP ops", name)
+		}
+		if !b.Profile.FP && fp > 0 {
+			t.Errorf("%s: integer benchmark generated FP ops", name)
+		}
+	}
+}
+
+func TestBranchesHaveTargetsAndMemOpsHaveAddrs(t *testing.T) {
+	g := MustGenerator(Suite()[3].Profile, 5)
+	sawTaken, sawNotTaken := false, false
+	for i := 0; i < 50000; i++ {
+		in := g.Next()
+		if in.Op.IsBranch() {
+			if in.Taken {
+				sawTaken = true
+				if in.Target == 0 {
+					t.Fatal("taken branch without target")
+				}
+			} else {
+				sawNotTaken = true
+			}
+		}
+		if in.Op.IsMem() && in.Addr == 0 {
+			t.Fatal("memory op without address")
+		}
+	}
+	if !sawTaken || !sawNotTaken {
+		t.Error("branch stream should contain both outcomes")
+	}
+}
+
+func TestDependenceDistanceTracksProfile(t *testing.T) {
+	// A small-DepDist profile must produce shorter producer distances on
+	// average than a large-DepDist one.
+	measure := func(name string) float64 {
+		b, _ := ByName(name)
+		g := MustGenerator(b.Profile, 7)
+		lastWrite := map[isa.Reg]uint64{}
+		var sum, cnt float64
+		for i := 0; i < 100000; i++ {
+			in := g.Next()
+			for _, s := range []isa.Reg{in.Src1, in.Src2} {
+				if s.IsZero() {
+					continue
+				}
+				if w, ok := lastWrite[s]; ok {
+					sum += float64(in.Seq - w)
+					cnt++
+				}
+			}
+			if in.HasDest() {
+				lastWrite[in.Dest] = in.Seq
+			}
+		}
+		if cnt == 0 {
+			t.Fatalf("%s: no dependences measured", name)
+		}
+		return sum / cnt
+	}
+	mcf := measure("mcf")       // DepDist 2.2
+	galgel := measure("galgel") // DepDist 10
+	if mcf >= galgel {
+		t.Errorf("mcf mean dep distance %.2f should be below galgel %.2f", mcf, galgel)
+	}
+}
+
+func TestValueConsistency(t *testing.T) {
+	// The stream must be value-consistent: source operand values always
+	// equal the last value written to that register (the ground truth
+	// the RMT checker verifies against).
+	b, _ := ByName("vortex")
+	g := MustGenerator(b.Profile, 99)
+	var regs [isa.NumRegs]uint64
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.Src1Val != regs[in.Src1] {
+			t.Fatalf("inst %d: Src1Val %#x != reg %d value %#x", i, in.Src1Val, in.Src1, regs[in.Src1])
+		}
+		if !in.Op.IsBranch() && in.Src2Val != regs[in.Src2] {
+			t.Fatalf("inst %d: Src2Val mismatch", i)
+		}
+		if in.HasDest() {
+			regs[in.Dest] = in.Value
+		}
+	}
+}
+
+func TestColdRegionStreams(t *testing.T) {
+	b, _ := ByName("swim")
+	g := MustGenerator(b.Profile, 13)
+	var prev uint64
+	var coldSeen int
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.Op.IsMem() && in.Addr >= coldBase {
+			if prev != 0 && in.Addr > prev && in.Addr-prev != uint64(b.Profile.ColdStride) {
+				t.Fatalf("cold region must stream by stride %d, got delta %d",
+					b.Profile.ColdStride, in.Addr-prev)
+			}
+			prev = in.Addr
+			coldSeen++
+		}
+	}
+	if coldSeen == 0 {
+		t.Error("swim should touch the cold region")
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	for _, b := range Suite() {
+		p := b.Profile
+		if hotBase+uint64(p.HotBytes) > midBase {
+			t.Errorf("%s: hot region overlaps mid base", p.Name)
+		}
+		if midBase+uint64(p.MidBytes) > warmBase {
+			t.Errorf("%s: mid region overlaps warm base", p.Name)
+		}
+		if warmBase+uint64(p.WarmBytes) > coldBase {
+			t.Errorf("%s: warm region overlaps cold base", p.Name)
+		}
+	}
+}
+
+func TestMidRegionUsed(t *testing.T) {
+	b, _ := ByName("mcf")
+	g := MustGenerator(b.Profile, 21)
+	mid := 0
+	for i := 0; i < 50000; i++ {
+		in := g.Next()
+		if in.Op.IsMem() && in.Addr >= midBase && in.Addr < warmBase {
+			mid++
+		}
+	}
+	if mid == 0 {
+		t.Error("mcf should reference its mid (L2-resident) region")
+	}
+}
+
+func TestNewGeneratorRejectsInvalid(t *testing.T) {
+	p := Suite()[0].Profile
+	p.DepDist = 0
+	if _, err := NewGenerator(p, 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestMustGeneratorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := Suite()[0].Profile
+	p.BranchSites = 0
+	MustGenerator(p, 1)
+}

@@ -1,0 +1,175 @@
+// Package wire models the paper's §3.4 interconnect evaluation: the
+// horizontal pipelined global wires that carry inter-core and L2 traffic
+// (length, metalization area, power) and the die-to-die via pillars of
+// the 3D stack (count, capacitance, power, area), plus the Table 4
+// bandwidth budget that fixes how many vias the stack needs.
+package wire
+
+import (
+	"fmt"
+
+	"r3d/internal/floorplan"
+	"r3d/internal/ooo"
+)
+
+// Constants from §3.4 (65 nm, 2 GHz, 1 V).
+const (
+	// GlobalWirePitchNm is the pitch of top-level metal.
+	GlobalWirePitchNm = 210.0
+	// D2DViaLengthUm is the assumed die-to-die via length.
+	D2DViaLengthUm = 10.0
+	// D2DViaCapPerUm is the worst-case capacitance of a d2d via
+	// surrounded by 8 neighbours, farads per micron.
+	D2DViaCapPerUm = 0.594e-15
+	// D2DViaWidthUm and D2DViaSpacingUm give the via footprint.
+	D2DViaWidthUm   = 5.0
+	D2DViaSpacingUm = 5.0
+	// SupplyV and FreqGHz are the nominal operating point.
+	SupplyV = 1.0
+	FreqGHz = 2.0
+	// GlobalWireCapPerMM is the effective capacitance of a
+	// power-optimized repeated global wire including its repeaters,
+	// F/mm (after [6]; calibrated against the paper's ≈0.45 mW/mm bus
+	// power at 2 GHz).
+	GlobalWireCapPerMM = 0.45e-12
+	// WireActivity is the average toggle activity of the inter-core and
+	// L2 buses.
+	WireActivity = 0.5
+	// L2BusBits is the width of the L2 data network links (matches the
+	// Table 4 L2 transfer pillar: 64 addr + 256 data + 64 control).
+	L2BusBits = 384
+)
+
+// SignalGroup is one Table 4 row: a bundle of values that crosses
+// between the cores each cycle.
+type SignalGroup struct {
+	Name string
+	// Bits is the bundle width (width × 64-bit values, etc.).
+	Bits int
+	// Via is where the d2d via pillar lands (Table 4 "Placement").
+	Via string
+}
+
+// Table4 returns the inter-core bandwidth budget for a core
+// configuration (Table 4 of the paper): loads and stores carry 64-bit
+// values at their issue widths, branch outcomes one bit, register
+// values 192 bits (two operands + result, the RVP bundle) at issue
+// width, and the L2 transfer pillar carries 384 bits.
+func Table4(cfg ooo.Config) []SignalGroup {
+	return []SignalGroup{
+		{Name: "Loads", Bits: cfg.LoadPorts * 64, Via: "LSQ"},
+		{Name: "Branch outcome", Bits: 1, Via: "Bpred"},
+		{Name: "Stores", Bits: cfg.StorePorts * 64, Via: "LSQ"},
+		{Name: "Register values", Bits: cfg.IssueWidth * 192, Via: "Register File"},
+		{Name: "L2 cache transfer", Bits: L2BusBits, Via: "L2 Cache Controller"},
+	}
+}
+
+// InterCoreVias returns the via count between the cores (everything
+// except the L2 pillar) and the total including it. For the paper's
+// 4-wide core: 1025 and 1409.
+func InterCoreVias(cfg ooo.Config) (interCore, total int) {
+	for _, g := range Table4(cfg) {
+		total += g.Bits
+		if g.Name != "L2 cache transfer" {
+			interCore += g.Bits
+		}
+	}
+	return total - L2BusBits, total
+}
+
+// D2DViaPower returns the total dynamic power of n die-to-die vias in
+// watts at full toggle rate: P = C·V²·f per via (the paper's 0.011 mW
+// per via, 15.49 mW for all 1409).
+func D2DViaPower(n int) float64 {
+	c := D2DViaCapPerUm * D2DViaLengthUm
+	per := c * SupplyV * SupplyV * FreqGHz * 1e9
+	return per * float64(n)
+}
+
+// D2DViaAreaMM2 returns the silicon area of n vias: width × (width +
+// spacing) each (0.07 mm² for 1409 vias).
+func D2DViaAreaMM2(n int) float64 {
+	per := D2DViaWidthUm * (D2DViaWidthUm + D2DViaSpacingUm) * 1e-6 // mm²
+	return per * float64(n)
+}
+
+// Route is one routed bundle: a wire count and a length.
+type Route struct {
+	Name     string
+	Bits     int
+	LengthMM float64
+}
+
+// TotalWireMM returns Σ bits×length — the §3.4 "total length of
+// horizontal wires" metric.
+func TotalWireMM(routes []Route) float64 {
+	var t float64
+	for _, r := range routes {
+		t += float64(r.Bits) * r.LengthMM
+	}
+	return t
+}
+
+// MetalAreaMM2 returns the metalization area at the global-wire pitch.
+func MetalAreaMM2(routes []Route) float64 {
+	return TotalWireMM(routes) * GlobalWirePitchNm * 1e-6 // nm → mm
+}
+
+// PowerW returns the switching power of the routed bundles for
+// power-optimized repeated global wires at the nominal operating point.
+func PowerW(routes []Route, activity float64) float64 {
+	mm := TotalWireMM(routes)
+	return GlobalWireCapPerMM * mm * SupplyV * SupplyV * FreqGHz * 1e9 * activity
+}
+
+// InterCoreRoutes derives the inter-core bundle routes from a floorplan:
+// each Table 4 group runs from its source block to the checker (2D) or
+// to the checker's via pillar (3D, horizontal distance only — the
+// vertical hop is microns). An error is returned if the floorplan lacks
+// the blocks.
+func InterCoreRoutes(f *floorplan.Floorplan, cfg ooo.Config) ([]Route, error) {
+	srcOf := map[string]string{
+		"Loads":           "DCache",
+		"Branch outcome":  "Bpred",
+		"Stores":          "LSQ",
+		"Register values": "IntRF",
+	}
+	var out []Route
+	for _, g := range Table4(cfg) {
+		if g.Name == "L2 cache transfer" {
+			continue
+		}
+		src := srcOf[g.Name]
+		d, err := f.WireLengthMM(src, "Checker")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Route{Name: g.Name, Bits: g.Bits, LengthMM: d})
+	}
+	return out, nil
+}
+
+// L2Routes derives the L2 network link routes from a floorplan: one
+// 384-bit link from the L2 controller block to each bank (the grid
+// network's aggregate wiring).
+func L2Routes(f *floorplan.Floorplan, bankPrefixes []string) ([]Route, error) {
+	var out []Route
+	for _, prefix := range bankPrefixes {
+		for i := 0; ; i++ {
+			name := fmt.Sprintf("%s%d", prefix, i)
+			if _, ok := f.BlockNamed(name); !ok {
+				break
+			}
+			d, err := f.WireLengthMM("L2Ctl", name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Route{Name: name, Bits: L2BusBits, LengthMM: d})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("wire: no banks found on %s", f.Name)
+	}
+	return out, nil
+}

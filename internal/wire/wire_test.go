@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"r3d/internal/floorplan"
+	"r3d/internal/ooo"
+)
+
+func TestTable4ViaCounts(t *testing.T) {
+	// The paper: 1025 vias between the cores, 1409 with the 384-bit L2
+	// pillar.
+	inter, total := InterCoreVias(ooo.Default())
+	if inter != 1025 {
+		t.Errorf("inter-core vias = %d, want 1025", inter)
+	}
+	if total != 1409 {
+		t.Errorf("total vias = %d, want 1409", total)
+	}
+}
+
+func TestTable4Rows(t *testing.T) {
+	rows := Table4(ooo.Default())
+	want := map[string]int{
+		"Loads":             128,
+		"Branch outcome":    1,
+		"Stores":            128,
+		"Register values":   768,
+		"L2 cache transfer": 384,
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if want[r.Name] != r.Bits {
+			t.Errorf("%s = %d bits, want %d", r.Name, r.Bits, want[r.Name])
+		}
+		if r.Via == "" {
+			t.Errorf("%s missing via placement", r.Name)
+		}
+	}
+}
+
+func TestD2DViaPowerMatchesPaper(t *testing.T) {
+	// §3.4: 0.011 mW per via; 15.49 mW for all 1409.
+	per := D2DViaPower(1) * 1e3 // mW
+	if math.Abs(per-0.0118) > 0.001 {
+		t.Errorf("per-via power %.4f mW, want ≈0.0118 (paper rounds to 0.011)", per)
+	}
+	all := D2DViaPower(1409) * 1e3
+	if all < 15 || all > 17.5 {
+		t.Errorf("total via power %.2f mW, want ≈15.5–16.6 (paper: 15.49)", all)
+	}
+}
+
+func TestD2DViaAreaMatchesPaper(t *testing.T) {
+	// §3.4: 0.07 mm² for 1409 vias at 5 µm width and spacing.
+	got := D2DViaAreaMM2(1409)
+	if math.Abs(got-0.0705) > 0.002 {
+		t.Errorf("via area %.4f mm², want ≈0.0705 (paper: 0.07)", got)
+	}
+}
+
+func TestRouteAggregates(t *testing.T) {
+	routes := []Route{{Name: "a", Bits: 100, LengthMM: 2}, {Name: "b", Bits: 50, LengthMM: 4}}
+	if got := TotalWireMM(routes); got != 400 {
+		t.Errorf("TotalWireMM = %v, want 400", got)
+	}
+	if got := MetalAreaMM2(routes); math.Abs(got-400*210e-6) > 1e-12 {
+		t.Errorf("MetalAreaMM2 = %v", got)
+	}
+	if PowerW(routes, 0.15) <= 0 {
+		t.Error("power must be positive")
+	}
+	if PowerW(routes, 0.3) <= PowerW(routes, 0.15) {
+		t.Error("power must scale with activity")
+	}
+}
+
+func TestInterCoreRoutes2DLongerThan3D(t *testing.T) {
+	// §3.4: 3D cuts the inter-core horizontal wire length (7490 mm →
+	// 4279 mm in the paper, a 43% reduction).
+	cfg := ooo.Default()
+	f2d := floorplan.Build2D2A(floorplan.DefaultOptions())
+	f3d := floorplan.Build3D2A(floorplan.DefaultOptions())
+	r2d, err := InterCoreRoutes(f2d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3d, err := InterCoreRoutes(f3d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2d, l3d := TotalWireMM(r2d), TotalWireMM(r3d)
+	if l3d >= l2d {
+		t.Errorf("3D inter-core wiring %.0f mm should be shorter than 2D %.0f mm", l3d, l2d)
+	}
+	ratio := l3d / l2d
+	if ratio < 0.3 || ratio > 0.85 {
+		t.Errorf("3D/2D wire ratio %.2f outside the paper's ballpark (0.57)", ratio)
+	}
+}
+
+func TestInterCoreRoutesMissingChecker(t *testing.T) {
+	if _, err := InterCoreRoutes(floorplan.Build2DA(), ooo.Default()); err == nil {
+		t.Fatal("2d-a has no checker; routes must error")
+	}
+}
+
+func TestL2RoutesOrdering(t *testing.T) {
+	// §3.4 metal area ordering: 2d-a < 3d-2a < 2d-2a.
+	area := func(f *floorplan.Floorplan, prefixes ...string) float64 {
+		r, err := L2Routes(f, prefixes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return MetalAreaMM2(r)
+	}
+	a2da := area(floorplan.Build2DA(), "L2Bank")
+	a2d2a := area(floorplan.Build2D2A(floorplan.DefaultOptions()), "L2Bank")
+	a3d2a := area(floorplan.Build3D2A(floorplan.DefaultOptions()), "L2Bank", "TopBank")
+	if !(a2da < a3d2a && a3d2a < a2d2a) {
+		t.Errorf("metal area ordering wrong: 2d-a %.2f, 3d-2a %.2f, 2d-2a %.2f", a2da, a3d2a, a2d2a)
+	}
+}
+
+func TestL2RoutesNoBanks(t *testing.T) {
+	f := floorplan.Build2DA()
+	if _, err := L2Routes(f, []string{"NoSuchBank"}); err == nil {
+		t.Fatal("expected error for missing banks")
+	}
+}

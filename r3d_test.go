@@ -1,0 +1,85 @@
+package r3d
+
+import "testing"
+
+func TestBenchmarks(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 19 {
+		t.Fatalf("got %d benchmarks, want 19", len(names))
+	}
+}
+
+func TestRunBenchmark(t *testing.T) {
+	r, err := RunBenchmark("gzip", L2Org2DA, 50000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions != 50000 || r.IPC <= 0 {
+		t.Errorf("implausible result: %+v", r)
+	}
+	if _, err := RunBenchmark("nope", L2Org2DA, 1000, 1); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+	if _, err := RunBenchmark("gzip", "weird", 1000, 1); err == nil {
+		t.Error("unknown L2 organization must error")
+	}
+}
+
+func TestDefaultL2OrgIs2DA(t *testing.T) {
+	a, err := RunBenchmark("gzip", "", 20000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBenchmark("gzip", L2Org2DA, 20000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("empty org must default to 2d-a")
+	}
+}
+
+func TestRunReliable(t *testing.T) {
+	r, err := RunReliable("twolf", L2Org2DA, 50000, 2.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Checked == 0 || r.CheckerIPC <= 0 {
+		t.Errorf("checker inactive: %+v", r)
+	}
+	if r.ErrorsDetected != 0 {
+		t.Errorf("clean run flagged errors: %d", r.ErrorsDetected)
+	}
+	if r.MeanCheckerFreqGHz <= 0 || r.MeanCheckerFreqGHz > 2.0 {
+		t.Errorf("checker frequency %.2f GHz out of range", r.MeanCheckerFreqGHz)
+	}
+}
+
+func TestRunInjection(t *testing.T) {
+	r, err := RunInjection("gzip", 80000, 65, 100, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LeadInjected == 0 {
+		t.Fatal("no injections at an aggressive rate")
+	}
+	if r.Coverage < 1 {
+		t.Errorf("leading-core error coverage %.2f, want 1.0", r.Coverage)
+	}
+	if _, err := RunInjection("gzip", 1000, 33, 1, 1, 1); err == nil {
+		t.Error("unknown node must error")
+	}
+}
+
+func TestTechScaling(t *testing.T) {
+	dyn, lkg, err := TechScaling(90, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn < 2.1 || dyn > 2.3 || lkg < 0.35 || lkg > 0.45 {
+		t.Errorf("scaling factors off: dyn %.2f lkg %.2f (paper: 2.21 / 0.40)", dyn, lkg)
+	}
+	if _, _, err := TechScaling(10, 65); err == nil {
+		t.Error("unknown node must error")
+	}
+}
