@@ -1,0 +1,33 @@
+# Developer entry points. `make lint` is the same gate that
+# `go test ./...` enforces through the repo-wide lint_test.go; running
+# it directly gives faster, file:line-only feedback.
+
+GO ?= go
+
+.PHONY: all build test lint race fmt
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# gofmt -l prints offending files but always exits 0; fail if it
+# printed anything.
+lint:
+	@fmtout="$$(gofmt -l .)"; \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/r3dlint ./...
+
+# Race instrumentation slows the thermal suite well past the default
+# 10-minute per-package limit; give the run the time it needs.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,76 @@
+// Command r3dlint runs the r3d determinism/hygiene static-analysis
+// suite (internal/lint) over every non-test package of the module and
+// reports findings with file:line:column positions. It exits 1 if any
+// unsuppressed finding remains, 2 on load/typecheck errors.
+//
+// Usage:
+//
+//	r3dlint [-list] [dir]
+//
+// dir defaults to the current directory; a trailing /... is accepted
+// (and ignored — the whole module is always analyzed). Findings are
+// suppressed in source with a reasoned directive:
+//
+//	//lint:ignore <check> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"r3d/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: r3dlint [-list] [dir]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	// Accept go-style package patterns: ./... means "the module".
+	dir = strings.TrimSuffix(dir, "...")
+	dir = strings.TrimSuffix(dir, "/")
+	if dir == "" {
+		dir = "."
+	}
+
+	m, findings, err := lint.RunModule(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r3dlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(relativize(m.Dir, f).String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "r3dlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// relativize rewrites a finding's filename relative to the module root
+// for stable, readable output.
+func relativize(root string, f lint.Finding) lint.Finding {
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f
+}

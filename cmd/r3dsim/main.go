@@ -40,8 +40,7 @@ func main() {
 		return
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	defer w.Flush()
+	rep := &report{w: tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)}
 
 	switch {
 	case *inject:
@@ -49,41 +48,65 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		printReliable(w, r.ReliableResult)
-		fmt.Fprintf(w, "lead upsets injected\t%d\n", r.LeadInjected)
-		fmt.Fprintf(w, "trailer RF upsets\t%d (MBUs %d)\n", r.RFInjected, r.MultiBitUpsets)
-		fmt.Fprintf(w, "coverage\t%.2f\n", r.Coverage)
+		printReliable(rep, r.ReliableResult)
+		rep.row("lead upsets injected\t%d\n", r.LeadInjected)
+		rep.row("trailer RF upsets\t%d (MBUs %d)\n", r.RFInjected, r.MultiBitUpsets)
+		rep.row("coverage\t%.2f\n", r.Coverage)
 	case *rmt:
 		r, err := r3d.RunReliable(*bench, r3d.L2Org(*l2), *n, *maxGHz, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		printReliable(w, r)
+		printReliable(rep, r)
 	default:
 		r, err := r3d.RunBenchmark(*bench, r3d.L2Org(*l2), *n, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		printLead(w, r)
+		printLead(rep, r)
+	}
+	if err := rep.flush(); err != nil {
+		log.Fatal(err)
 	}
 }
 
-func printLead(w *tabwriter.Writer, r r3d.Result) {
-	fmt.Fprintf(w, "benchmark\t%s\n", r.Benchmark)
-	fmt.Fprintf(w, "instructions\t%d\n", r.Instructions)
-	fmt.Fprintf(w, "cycles\t%d\n", r.Cycles)
-	fmt.Fprintf(w, "IPC\t%.3f\n", r.IPC)
-	fmt.Fprintf(w, "L2 misses / 10k instr\t%.2f\n", r.L2MissesPer10k)
-	fmt.Fprintf(w, "mean L2 hit latency\t%.1f cycles\n", r.L2HitLatency)
-	fmt.Fprintf(w, "branch mispredict rate\t%.2f%%\n", r.MispredictRate*100)
+// report accumulates tabulated rows; the first write error sticks and
+// is surfaced once at flush.
+type report struct {
+	w   *tabwriter.Writer
+	err error
 }
 
-func printReliable(w *tabwriter.Writer, r r3d.ReliableResult) {
-	printLead(w, r.Result)
-	fmt.Fprintf(w, "checker IPC\t%.2f\n", r.CheckerIPC)
-	fmt.Fprintf(w, "mean checker frequency\t%.2f GHz\n", r.MeanCheckerFreqGHz)
-	fmt.Fprintf(w, "instructions checked\t%d\n", r.Checked)
-	fmt.Fprintf(w, "leading stall cycles\t%d\n", r.LeadStallCycles)
-	fmt.Fprintf(w, "errors detected/recovered/unrecovered\t%d/%d/%d\n",
+func (r *report) row(format string, args ...any) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = fmt.Fprintf(r.w, format, args...)
+}
+
+func (r *report) flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+func printLead(rep *report, r r3d.Result) {
+	rep.row("benchmark\t%s\n", r.Benchmark)
+	rep.row("instructions\t%d\n", r.Instructions)
+	rep.row("cycles\t%d\n", r.Cycles)
+	rep.row("IPC\t%.3f\n", r.IPC)
+	rep.row("L2 misses / 10k instr\t%.2f\n", r.L2MissesPer10k)
+	rep.row("mean L2 hit latency\t%.1f cycles\n", r.L2HitLatency)
+	rep.row("branch mispredict rate\t%.2f%%\n", r.MispredictRate*100)
+}
+
+func printReliable(rep *report, r r3d.ReliableResult) {
+	printLead(rep, r.Result)
+	rep.row("checker IPC\t%.2f\n", r.CheckerIPC)
+	rep.row("mean checker frequency\t%.2f GHz\n", r.MeanCheckerFreqGHz)
+	rep.row("instructions checked\t%d\n", r.Checked)
+	rep.row("leading stall cycles\t%d\n", r.LeadStallCycles)
+	rep.row("errors detected/recovered/unrecovered\t%d/%d/%d\n",
 		r.ErrorsDetected, r.ErrorsRecovered, r.ErrorsUnrecovered)
 }

@@ -31,6 +31,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		//lint:ignore errdrop read-only file; a close failure cannot lose data
 		defer f.Close()
 		rd, err := trace.NewReader(f)
 		if err != nil {
@@ -46,9 +47,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := trace.WriteTrace(f, trace.MustGenerator(b.Profile, *seed), *n); err != nil {
-			log.Fatal(err)
+		// The capture is only durable once Close succeeds, so its
+		// error is checked rather than deferred away.
+		werr := trace.WriteTrace(f, trace.MustGenerator(b.Profile, *seed), *n)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatal(werr)
 		}
 		fmt.Printf("captured %d instructions of %s to %s\n", *n, *bench, *out)
 	default:

@@ -445,9 +445,7 @@ func (s *System) onErrorDetected(unrecoverable bool) {
 	// the slack window re-executes: in-flight corruption is gone, and
 	// the queued entries are replaced by their correct replay values
 	// (the recovery penalty charges the replay time).
-	for r := range s.corruptReg {
-		delete(s.corruptReg, r)
-	}
+	clear(s.corruptReg)
 	for i := 0; i < s.rvqCount; i++ {
 		idx := (s.rvqHead + i) % s.cfg.RVQSize
 		s.rvq[idx] = inorder.MakeEntry(s.rvq[idx].Inst)

@@ -1,0 +1,38 @@
+// Package detmap provides deterministic iteration over Go maps.
+//
+// Go randomizes map iteration order on every run, so any map iteration
+// that feeds simulator results, statistics or output ordering breaks
+// bit-reproducibility. The r3dlint maporder check rejects raw map
+// ranges in model code; this package is the sanctioned replacement:
+//
+//	for _, k := range detmap.SortedKeys(m) {
+//		v := m[k]
+//		...
+//	}
+package detmap
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns the keys of m in ascending order.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// SortedKeysFunc returns the keys of m ordered by the comparison
+// function, for key types that are not cmp.Ordered.
+func SortedKeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, less)
+	return keys
+}

@@ -1,0 +1,28 @@
+package detmap
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"rvq": 1, "alu": 2, "lvq": 3, "bpred": 4}
+	got := SortedKeys(m)
+	want := []string{"alu", "bpred", "lvq", "rvq"}
+	if !slices.Equal(got, want) {
+		t.Errorf("SortedKeys = %v, want %v", got, want)
+	}
+	if keys := SortedKeys(map[int]string{}); len(keys) != 0 {
+		t.Errorf("SortedKeys of empty map = %v, want empty", keys)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	type reg struct{ idx int }
+	m := map[reg]uint64{{3}: 1, {1}: 2, {2}: 3}
+	got := SortedKeysFunc(m, func(a, b reg) int { return a.idx - b.idx })
+	want := []reg{{1}, {2}, {3}}
+	if !slices.Equal(got, want) {
+		t.Errorf("SortedKeysFunc = %v, want %v", got, want)
+	}
+}

@@ -181,10 +181,10 @@ func Figure6(s *Session) (Figure6Result, error) {
 // Means returns the suite-mean IPC per model (2d-a, 2d-2a, 3d-2a,
 // 3d-checker).
 func (r Figure6Result) Means() (m2da, m2d2a, m3d2a, m3dchk float64) {
-	n := float64(len(r.Rows))
-	if n == 0 {
+	if len(r.Rows) == 0 {
 		return
 	}
+	n := float64(len(r.Rows))
 	for _, row := range r.Rows {
 		m2da += row.IPC2DA / n
 		m2d2a += row.IPC2D2A / n

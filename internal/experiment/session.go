@@ -239,6 +239,7 @@ func (s *Session) SuiteActivity(l2c L2Config) (power.Activity, float64, error) {
 			return nil, 0, err
 		}
 		act := power.ActivityFromStats(r.Stats, ooo.Default())
+		//lint:ignore maporder each key of sum is updated independently, so order cannot affect any entry
 		for k, v := range act {
 			sum[k] += v
 		}
@@ -248,6 +249,7 @@ func (s *Session) SuiteActivity(l2c L2Config) (power.Activity, float64, error) {
 		}
 	}
 	n := float64(len(suite))
+	//lint:ignore maporder per-key scaling touches each entry exactly once; order-independent
 	for k := range sum {
 		sum[k] /= n
 	}

@@ -59,12 +59,15 @@ type ThermalResult struct {
 }
 
 func (c ThermalCase) norm() ThermalCase {
+	//lint:ignore floatcmp zero-value sentinel for an unset field, never a computed value
 	if c.Scale == 0 {
 		c.Scale = 1
 	}
+	//lint:ignore floatcmp zero-value sentinel for an unset field, never a computed value
 	if c.TopLeakScale == 0 {
 		c.TopLeakScale = 1
 	}
+	//lint:ignore floatcmp zero-value sentinel for an unset field, never a computed value
 	if c.Opt.CheckerAreaScale == 0 {
 		c.Opt = floorplan.DefaultOptions()
 	}
@@ -102,6 +105,7 @@ func (s *Session) SolveThermalDetailed(c ThermalCase) (*thermal.Solver, ThermalR
 	}
 
 	die1 := power.LeadingCorePower(c.Act, 1, 1)
+	//lint:ignore maporder per-key scaling touches each entry exactly once; order-independent
 	for k := range die1 {
 		die1[k] *= c.Scale
 	}

@@ -348,6 +348,7 @@ func (f *Floorplan) PowerGrid(layer int, powers power.BlockPowers, nx, ny int) [
 			continue
 		}
 		w, ok := powers[b.Name]
+		//lint:ignore floatcmp exact zero marks an unpowered block (assigned, not computed)
 		if !ok || w == 0 {
 			continue
 		}

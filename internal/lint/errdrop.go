@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags call statements whose error result is silently
+// discarded, anywhere in the module. A dropped error in the simulator
+// usually means a truncated trace file or a half-written results table
+// that still exits zero. An explicit `_ = f()` is accepted as a
+// deliberate discard; better is a reasoned //lint:ignore errdrop or
+// actually handling the error.
+//
+// Two classes of writes are exempt because their error results are
+// vacuous: the fmt.Print family (driver output to stdout, where no
+// recovery is possible), and fmt.Fprint* / Write* calls whose
+// destination is a *strings.Builder or *bytes.Buffer (both documented
+// to never return a non-nil error).
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "call result of type error silently discarded",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	info := p.Pkg.Info
+	p.inspectAll(func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = s.Call
+		case *ast.GoStmt:
+			call = s.Call
+		}
+		if call == nil {
+			return true
+		}
+		if !returnsError(info, call) || errDropExempt(info, call) {
+			return true
+		}
+		p.Reportf(call.Pos(), "result of type error is discarded; handle it, assign to _, or justify with //lint:ignore errdrop")
+		return true
+	})
+}
+
+// returnsError reports whether any result of the call is an error (or a
+// concrete type implementing error).
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// errDropExempt reports calls whose error result is vacuous by
+// construction.
+func errDropExempt(info *types.Info, call *ast.CallExpr) bool {
+	// fmt.Print / Printf / Println: driver output to stdout.
+	if pkgPath, name, ok := calleePkgFunc(info, call); ok && pkgPath == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			// Exempt when the destination writer cannot fail, or is a
+			// standard stream (CLI diagnostics — nothing to handle).
+			return len(call.Args) > 0 &&
+				(isInfallibleWriter(info, call.Args[0]) || isStdStream(info, call.Args[0]))
+		}
+		return false
+	}
+	// Methods on *strings.Builder / *bytes.Buffer (WriteString,
+	// WriteByte, ...): documented to never return a non-nil error.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return isInfallibleWriterType(s.Recv())
+		}
+	}
+	return false
+}
+
+// isStdStream reports whether e is exactly os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "os"
+}
+
+func isInfallibleWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isInfallibleWriterType(tv.Type)
+}
+
+func isInfallibleWriterType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+package lint
+
+import "testing"
+
+func TestErrDropFlagsDiscardedErrors(t *testing.T) {
+	fs := findings(t, ErrDrop, modelPath, `
+package fixture
+
+import "os"
+
+func Touch(f *os.File) {
+	os.Remove("stale")
+	defer f.Close()
+	go f.Sync()
+}
+`)
+	wantChecks(t, fs, "errdrop", "errdrop", "errdrop")
+}
+
+// The check applies to driver code too: a half-written results file
+// that exits zero is the failure mode it exists for.
+func TestErrDropFlagsDriverCode(t *testing.T) {
+	fs := findings(t, ErrDrop, driverPath, `
+package fixture
+
+import "os"
+
+func Touch() { os.Remove("stale") }
+`)
+	wantChecks(t, fs, "errdrop")
+}
+
+func TestErrDropAcceptsHandledAndVacuousErrors(t *testing.T) {
+	fs := findings(t, ErrDrop, modelPath, `
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func Handled() error {
+	if err := os.Remove("stale"); err != nil {
+		return err
+	}
+	_ = os.Remove("explicit discard")
+	fmt.Println("stdout print")
+	fmt.Fprintf(os.Stderr, "stderr print")
+	var b strings.Builder
+	fmt.Fprintf(&b, "builder write")
+	b.WriteString("never fails")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	return nil
+}
+`)
+	wantChecks(t, fs)
+}
+
+func TestErrDropSuppressed(t *testing.T) {
+	fs := findings(t, ErrDrop, modelPath, `
+package fixture
+
+import "os"
+
+func Read(f *os.File) {
+	//lint:ignore errdrop read-only file; a close failure cannot lose data
+	defer f.Close()
+}
+`)
+	wantChecks(t, fs)
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// Fixtures share one FileSet and one stdlib source importer so each
+// test pays the (cached) cost of type-checking fmt/time/math-rand once.
+var (
+	fixFset = token.NewFileSet()
+	fixStd  = importer.ForCompiler(fixFset, "source", nil)
+)
+
+// modelPath places a fixture inside model code (internal/), where all
+// five checks apply; driverPath places it in cmd/, exempt from the
+// model-code-only checks.
+const (
+	modelPath  = "r3d/internal/fixture"
+	driverPath = "r3d/cmd/fixture"
+)
+
+// checkFixture parses and type-checks one in-memory source file as a
+// package with the given import path.
+func checkFixture(t *testing.T, ipath, src string) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fixFset, ipath+"/fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := types.Config{Importer: fixStd}
+	tpkg, err := cfg.Check(ipath, fixFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture: %v", err)
+	}
+	return &Package{Path: ipath, Fset: fixFset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// findings runs a single analyzer over one fixture (suppressions
+// applied, as in the real driver) and returns the result.
+func findings(t *testing.T, a *Analyzer, ipath, src string) []Finding {
+	t.Helper()
+	return Run([]*Package{checkFixture(t, ipath, src)}, []*Analyzer{a})
+}
+
+// wantChecks asserts the findings' check names, in order.
+func wantChecks(t *testing.T, got []Finding, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d finding(s), want %d:\n%v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].Check != want[i] {
+			t.Errorf("finding %d: check %q, want %q (%v)", i, got[i].Check, want[i], got[i])
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands in model
+// code (internal/ packages). Exact float equality is brittle under
+// re-association and architecture-dependent fused multiply-adds, and a
+// comparison that happens to hold on one host can silently flip on
+// another, changing simulated control flow. Model code should compare
+// against an epsilon (or restructure to avoid the comparison); genuine
+// exact sentinel checks carry a reasoned //lint:ignore floatcmp.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "==/!= between floats in model code: exact float equality is unstable",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	if !p.InModelCode() {
+		return
+	}
+	p.inspectAll(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if isFloat(p.Pkg.Info, be.X) || isFloat(p.Pkg.Info, be.Y) {
+			p.Reportf(be.Pos(), "%s between floating-point operands; compare with an epsilon or justify with //lint:ignore floatcmp", be.Op)
+		}
+		return true
+	})
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

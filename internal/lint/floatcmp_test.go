@@ -1,0 +1,50 @@
+package lint
+
+import "testing"
+
+func TestFloatCmpFlagsExactEquality(t *testing.T) {
+	fs := findings(t, FloatCmp, modelPath, `
+package fixture
+
+func Same(a, b float64) bool { return a == b }
+
+func Diff(a, b float32) bool { return a != b }
+`)
+	wantChecks(t, fs, "floatcmp", "floatcmp")
+}
+
+func TestFloatCmpAcceptsEpsilonAndIntCompares(t *testing.T) {
+	fs := findings(t, FloatCmp, modelPath, `
+package fixture
+
+import "math"
+
+func Same(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func Ordered(a, b float64) bool { return a < b }
+
+func Eq(a, b int) bool { return a == b }
+`)
+	wantChecks(t, fs)
+}
+
+func TestFloatCmpExemptsDriverCode(t *testing.T) {
+	fs := findings(t, FloatCmp, driverPath, `
+package fixture
+
+func Same(a, b float64) bool { return a == b }
+`)
+	wantChecks(t, fs)
+}
+
+func TestFloatCmpSuppressed(t *testing.T) {
+	fs := findings(t, FloatCmp, modelPath, `
+package fixture
+
+func Unset(scale float64) bool {
+	//lint:ignore floatcmp zero-value sentinel, never a computed value
+	return scale == 0
+}
+`)
+	wantChecks(t, fs)
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GlobalRand flags calls to the top-level math/rand (and math/rand/v2)
+// convenience functions anywhere in the module. Those draw from a
+// process-global generator whose state is shared across every call
+// site, so adding or reordering any draw perturbs every subsequent
+// one — and under math/rand/v2 the global source cannot be reseeded at
+// all. Simulator components must own a seeded *rand.Rand, the way
+// internal/fault and internal/trace already do; constructors such as
+// rand.New and rand.NewSource are therefore allowed.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "top-level math/rand call: use a seeded per-component *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed lists math/rand package-level functions that build
+// private generators rather than drawing from the global one.
+var globalRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalRand(p *Pass) {
+	p.inspectAll(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, name, ok := calleePkgFunc(p.Pkg.Info, call)
+		if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+			return true
+		}
+		if globalRandAllowed[name] {
+			return true
+		}
+		p.Reportf(call.Pos(), "%s.%s draws from the process-global generator; use a seeded per-component *rand.Rand", pkgPath, name)
+		return true
+	})
+}

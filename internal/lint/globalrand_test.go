@@ -1,0 +1,70 @@
+package lint
+
+import "testing"
+
+func TestGlobalRandFlagsTopLevelCalls(t *testing.T) {
+	fs := findings(t, GlobalRand, modelPath, `
+package fixture
+
+import "math/rand"
+
+func Roll() int {
+	rand.Seed(1)
+	return rand.Intn(6) + int(rand.Float64())
+}
+`)
+	wantChecks(t, fs, "globalrand", "globalrand", "globalrand")
+}
+
+// The check applies outside internal/ too: driver code drawing from the
+// global generator is just as non-reproducible.
+func TestGlobalRandFlagsDriverCode(t *testing.T) {
+	fs := findings(t, GlobalRand, driverPath, `
+package fixture
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(6) }
+`)
+	wantChecks(t, fs, "globalrand")
+}
+
+// Import aliasing must not hide the global generator.
+func TestGlobalRandSeesThroughAlias(t *testing.T) {
+	fs := findings(t, GlobalRand, modelPath, `
+package fixture
+
+import mr "math/rand"
+
+func Roll() int { return mr.Intn(6) }
+`)
+	wantChecks(t, fs, "globalrand")
+}
+
+func TestGlobalRandAcceptsSeededRand(t *testing.T) {
+	fs := findings(t, GlobalRand, modelPath, `
+package fixture
+
+import "math/rand"
+
+func Roll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+`)
+	wantChecks(t, fs)
+}
+
+func TestGlobalRandSuppressed(t *testing.T) {
+	fs := findings(t, GlobalRand, modelPath, `
+package fixture
+
+import "math/rand"
+
+func Roll() int {
+	//lint:ignore globalrand demonstration fixture only
+	return rand.Intn(6)
+}
+`)
+	wantChecks(t, fs)
+}

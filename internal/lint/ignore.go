@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//lint:ignore <check> <reason>
+//
+// The directive silences findings of the named check on the directive's
+// own line (end-of-line form) or on the line directly below it
+// (preceding-comment form). The reason is mandatory; a directive
+// without one is reported as a "lintdirective" finding so suppressions
+// can never silently lose their justification.
+const ignorePrefix = "lint:ignore"
+
+// ignoreSet records, per file and line, which checks are suppressed.
+type ignoreSet map[string]map[int][]string
+
+// collectIgnores scans a package's comments for directives. Malformed
+// directives are returned as findings.
+func collectIgnores(fset *token.FileSet, pkgs []*Package) (ignoreSet, []Finding) {
+	set := ignoreSet{}
+	var bad []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+					pos := fset.Position(c.Pos())
+					if len(fields) < 2 {
+						bad = append(bad, Finding{
+							Check:   "lintdirective",
+							Pos:     pos,
+							Message: "malformed directive: want //lint:ignore <check> <reason>",
+						})
+						continue
+					}
+					check := fields[0]
+					lines := set[pos.Filename]
+					if lines == nil {
+						lines = map[int][]string{}
+						set[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], check)
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// suppressed reports whether a finding is covered by a directive on its
+// own line or the line above.
+func (s ignoreSet) suppressed(f Finding) bool {
+	lines, ok := s[f.Pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, check := range lines[line] {
+			if check == f.Check {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A directive without a reason must not silence anything — it is
+// reported itself, alongside the finding it failed to suppress.
+func TestIgnoreDirectiveRequiresReason(t *testing.T) {
+	fs := findings(t, GlobalRand, modelPath, `
+package fixture
+
+import "math/rand"
+
+func Roll() int {
+	//lint:ignore globalrand
+	return rand.Intn(6)
+}
+`)
+	wantChecks(t, fs, "lintdirective", "globalrand")
+	if !strings.Contains(fs[0].Message, "lint:ignore <check> <reason>") {
+		t.Errorf("malformed-directive message should show the expected syntax, got %q", fs[0].Message)
+	}
+}
+
+// A directive only suppresses the check it names.
+func TestIgnoreDirectiveIsCheckSpecific(t *testing.T) {
+	fs := findings(t, GlobalRand, modelPath, `
+package fixture
+
+import "math/rand"
+
+func Roll() int {
+	//lint:ignore wallclock wrong check name on purpose
+	return rand.Intn(6)
+}
+`)
+	wantChecks(t, fs, "globalrand")
+}
+
+// End-of-line directives cover their own line.
+func TestIgnoreDirectiveSameLine(t *testing.T) {
+	fs := findings(t, GlobalRand, modelPath, `
+package fixture
+
+import "math/rand"
+
+func Roll() int {
+	return rand.Intn(6) //lint:ignore globalrand demonstration fixture only
+}
+`)
+	wantChecks(t, fs)
+}
+
+func TestFindModule(t *testing.T) {
+	root, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatalf("findModule: %v", err)
+	}
+	if modPath != "r3d" {
+		t.Errorf("module path = %q, want %q", modPath, "r3d")
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("module root %q has no go.mod: %v", root, err)
+	}
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package of the module.
+type Package struct {
+	Path  string // import path, e.g. "r3d/internal/thermal"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Module holds every non-test package of the module rooted at Dir,
+// type-checked against the standard library.
+type Module struct {
+	Dir  string // module root (directory containing go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+}
+
+// LoadModule locates the enclosing go.mod starting at dir, parses every
+// non-test .go file of every package under the module root, and
+// type-checks the packages in dependency order. Standard-library
+// imports are resolved with the go/importer "source" importer, so the
+// loader needs nothing beyond GOROOT sources — no compiled export data
+// and no third-party packages.
+//
+// Test files are deliberately excluded: the analyzers police model and
+// driver code, and tests legitimately use constructs (fixed map probes,
+// wall-clock timeouts) the checks forbid.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Dir: root, Path: modPath, Fset: token.NewFileSet()}
+
+	type rawPkg struct {
+		path  string
+		dir   string
+		files []*ast.File
+	}
+	raw := map[string]*rawPkg{}
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(m.Fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %w", p, err)
+		}
+		pkgDir := filepath.Dir(p)
+		ipath := modPath
+		if rel, err := filepath.Rel(root, pkgDir); err == nil && rel != "." {
+			ipath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		rp := raw[ipath]
+		if rp == nil {
+			rp = &rawPkg{path: ipath, dir: pkgDir}
+			raw[ipath] = rp
+		}
+		rp.files = append(rp.files, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	checked := map[string]*Package{}
+	std := importer.ForCompiler(m.Fset, "source", nil)
+	var check func(path string, stack []string) (*Package, error)
+	check = func(path string, stack []string) (*Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		for _, s := range stack {
+			if s == path {
+				return nil, fmt.Errorf("lint: import cycle through %s", path)
+			}
+		}
+		rp := raw[path]
+		if rp == nil {
+			return nil, fmt.Errorf("lint: no such module package %s", path)
+		}
+		// Check module-internal dependencies first so the importer
+		// below can hand back their *types.Package.
+		for _, f := range rp.files {
+			for _, spec := range f.Imports {
+				ip := strings.Trim(spec.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					if _, err := check(ip, append(stack, path)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		cfg := types.Config{
+			Importer: &moduleImporter{module: checked, std: std},
+		}
+		// Keep per-package file order deterministic (WalkDir already
+		// yields lexical order, but be explicit).
+		sort.Slice(rp.files, func(i, j int) bool {
+			return m.Fset.Position(rp.files[i].Pos()).Filename < m.Fset.Position(rp.files[j].Pos()).Filename
+		})
+		tpkg, err := cfg.Check(path, m.Fset, rp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+		}
+		p := &Package{Path: path, Dir: rp.dir, Fset: m.Fset, Files: rp.files, Types: tpkg, Info: info}
+		checked[path] = p
+		return p, nil
+	}
+
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		pkg, err := check(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m, nil
+}
+
+// findModule walks upward from dir to the nearest go.mod and returns
+// the module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// moduleImporter resolves module-internal import paths from the set of
+// already-checked packages and defers everything else to the
+// standard-library source importer.
+type moduleImporter struct {
+	module map[string]*Package
+	std    types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.module[path]; ok {
+		return p.Types, nil
+	}
+	return mi.std.Import(path)
+}

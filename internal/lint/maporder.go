@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over map values in model code
+// (internal/ packages). Go randomizes map iteration order per run, so
+// any map iteration that feeds results, statistics or output ordering
+// makes reruns non-reproducible. The deterministic pattern is to
+// collect the keys into a slice, sort it, and range over the slice;
+// iterations whose body is provably order-independent (pure commutative
+// accumulation, draining into another map) may instead carry a reasoned
+// //lint:ignore maporder directive.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map in model code: iteration order is randomized per run",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !p.InModelCode() {
+		return
+	}
+	p.inspectAll(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Pkg.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isKeyCollectionLoop(rs) {
+			return true
+		}
+		p.Reportf(rs.Pos(), "iteration over map %s is order-randomized; sort the keys first (see internal/detmap) or justify with //lint:ignore maporder", types.TypeString(tv.Type, types.RelativeTo(p.Pkg.Types)))
+		return true
+	})
+}
+
+// isKeyCollectionLoop recognizes the first half of the sanctioned
+// deterministic-iteration pattern,
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// whose body only gathers the keys into a slice (to be sorted before
+// any order-dependent use). Such a loop is order-independent by
+// construction and is not flagged.
+func isKeyCollectionLoop(rs *ast.RangeStmt) bool {
+	if rs.Value != nil {
+		if id, ok := rs.Value.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}

@@ -1,0 +1,72 @@
+package lint
+
+import "testing"
+
+func TestMapOrderFlagsRawIteration(t *testing.T) {
+	fs := findings(t, MapOrder, modelPath, `
+package fixture
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`)
+	wantChecks(t, fs, "maporder")
+}
+
+func TestMapOrderAcceptsSortedKeysPattern(t *testing.T) {
+	fs := findings(t, MapOrder, modelPath, `
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Dump(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+`)
+	wantChecks(t, fs)
+}
+
+func TestMapOrderExemptsDriverCode(t *testing.T) {
+	fs := findings(t, MapOrder, driverPath, `
+package fixture
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`)
+	wantChecks(t, fs)
+}
+
+func TestMapOrderSuppressed(t *testing.T) {
+	fs := findings(t, MapOrder, modelPath, `
+package fixture
+
+func Sum(m map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	//lint:ignore maporder per-key copy; each key written exactly once
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+`)
+	wantChecks(t, fs)
+}

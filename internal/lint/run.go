@@ -1,0 +1,44 @@
+package lint
+
+// Analyzers returns the full determinism/hygiene suite in a fixed
+// order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, GlobalRand, WallClock, FloatCmp, ErrDrop}
+}
+
+// Run applies the analyzers to every package, filters out findings
+// covered by a reasoned //lint:ignore directive, and returns the
+// remainder sorted by position. Malformed directives are included as
+// findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores, bad := collectIgnores(pkg.Fset, []*Package{pkg})
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Pkg:      pkg,
+			}
+			pass.report = func(f Finding) {
+				if !ignores.suppressed(f) {
+					findings = append(findings, f)
+				}
+			}
+			a.Run(pass)
+		}
+	}
+	sortFindings(findings)
+	return findings
+}
+
+// RunModule is the driver entry point: load the module containing dir
+// and run the full suite over it.
+func RunModule(dir string) (*Module, []Finding, error) {
+	m, err := LoadModule(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, Run(m.Pkgs, Analyzers()), nil
+}

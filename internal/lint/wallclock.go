@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock flags wall-clock reads and timer construction inside model
+// code (internal/ packages). In the simulator, time advances only
+// through cycle counters; a time.Now or time.Since in a model path ties
+// results to host scheduling and makes reruns non-reproducible.
+// Drivers under cmd/ legitimately measure elapsed host time (for
+// example cmd/r3dcalib's throughput report) and are exempt — that is
+// the model/driver boundary this check enforces.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock read in model code: only cycle counters may advance time",
+	Run:  runWallClock,
+}
+
+// wallClockFuncs are the package time functions that observe the host
+// clock or schedule against it.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runWallClock(p *Pass) {
+	if !p.InModelCode() {
+		return
+	}
+	p.inspectAll(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, name, ok := calleePkgFunc(p.Pkg.Info, call)
+		if !ok || pkgPath != "time" || !wallClockFuncs[name] {
+			return true
+		}
+		p.Reportf(call.Pos(), "time.%s reads the wall clock inside model code; advance time with cycle counters (host timing belongs in cmd/)", name)
+		return true
+	})
+}

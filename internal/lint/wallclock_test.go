@@ -1,0 +1,60 @@
+package lint
+
+import "testing"
+
+func TestWallClockFlagsModelCode(t *testing.T) {
+	fs := findings(t, WallClock, modelPath, `
+package fixture
+
+import "time"
+
+func Elapsed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+`)
+	wantChecks(t, fs, "wallclock", "wallclock")
+}
+
+// cmd/ timing is exempt: drivers legitimately measure elapsed host
+// time, the way cmd/r3dcalib reports simulation throughput.
+func TestWallClockExemptsDriverCode(t *testing.T) {
+	fs := findings(t, WallClock, driverPath, `
+package fixture
+
+import "time"
+
+func Elapsed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+`)
+	wantChecks(t, fs)
+}
+
+func TestWallClockAcceptsCycleCounters(t *testing.T) {
+	fs := findings(t, WallClock, modelPath, `
+package fixture
+
+type clock struct{ cycles uint64 }
+
+func (c *clock) Tick() { c.cycles++ }
+
+func (c *clock) Cycles() uint64 { return c.cycles }
+`)
+	wantChecks(t, fs)
+}
+
+func TestWallClockSuppressed(t *testing.T) {
+	fs := findings(t, WallClock, modelPath, `
+package fixture
+
+import "time"
+
+func Stamp() time.Time {
+	//lint:ignore wallclock demonstration fixture only
+	return time.Now()
+}
+`)
+	wantChecks(t, fs)
+}

@@ -16,6 +16,7 @@ package power
 import (
 	"fmt"
 
+	"r3d/internal/detmap"
 	"r3d/internal/nuca"
 	"r3d/internal/ooo"
 	"r3d/internal/tech"
@@ -94,10 +95,10 @@ type Activity map[string]float64
 // ActivityFromStats derives per-unit activity factors from a simulation
 // window's event counts.
 func ActivityFromStats(s ooo.Stats, cfg ooo.Config) Activity {
-	cyc := float64(s.Activity.Cycles)
-	if cyc == 0 {
+	if s.Activity.Cycles == 0 {
 		return Activity{}
 	}
+	cyc := float64(s.Activity.Cycles)
 	rate := func(n uint64, perCycle int) float64 {
 		a := float64(n) / cyc / float64(perCycle)
 		if a > 1 {
@@ -126,11 +127,14 @@ func ActivityFromStats(s ooo.Stats, cfg ooo.Config) Activity {
 // map and the thermal model.
 type BlockPowers map[string]float64
 
-// Total returns the summed power.
+// Total returns the summed power. Summation follows sorted key order:
+// float addition is not associative, so summing in randomized map order
+// would make the low bits of the total — and everything downstream in
+// the thermal model — differ between reruns.
 func (b BlockPowers) Total() float64 {
 	var t float64
-	for _, w := range b {
-		t += w
+	for _, k := range detmap.SortedKeys(b) {
+		t += b[k]
 	}
 	return t
 }

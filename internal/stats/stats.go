@@ -50,6 +50,7 @@ func WeightedMean(xs, ws []float64) float64 {
 		sx += x * ws[i]
 		sw += ws[i]
 	}
+	//lint:ignore floatcmp division guard: weights are nonnegative, so the sum is exactly 0 only when all are
 	if sw == 0 {
 		return 0
 	}
@@ -148,6 +149,7 @@ func (h *Histogram) Total() float64 { return h.total }
 // Fractions returns the per-bin fraction of total weight (zeros if empty).
 func (h *Histogram) Fractions() []float64 {
 	out := make([]float64, len(h.Counts))
+	//lint:ignore floatcmp division guard: bin weights are nonnegative, so total is exactly 0 only for an empty histogram
 	if h.total == 0 {
 		return out
 	}
@@ -176,6 +178,7 @@ func (h *Histogram) BinCenter(i int) float64 {
 
 // WeightedMeanValue returns the histogram-weighted mean using bin centers.
 func (h *Histogram) WeightedMeanValue() float64 {
+	//lint:ignore floatcmp division guard: bin weights are nonnegative, so total is exactly 0 only for an empty histogram
 	if h.total == 0 {
 		return 0
 	}

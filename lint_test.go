@@ -1,0 +1,29 @@
+package r3d
+
+import (
+	"testing"
+
+	"r3d/internal/lint"
+)
+
+// TestLintClean runs the full r3dlint determinism/hygiene suite over
+// every non-test package of the module and fails on any unsuppressed
+// finding. This is the tier-1 enforcement hook: introducing a map
+// iteration, global-RNG call, wall-clock read, exact float comparison
+// or dropped error without a reasoned //lint:ignore breaks
+// `go test ./...`, not just a separately-run linter.
+func TestLintClean(t *testing.T) {
+	m, findings, err := lint.RunModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(m.Pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing parts of the module", len(m.Pkgs))
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if t.Failed() {
+		t.Logf("fix the findings above or suppress them with `//lint:ignore <check> <reason>` (see README \"Determinism & lint suite\")")
+	}
+}
