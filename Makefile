@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race fmt
+.PHONY: all build test lint race fmt campaign-smoke
 
 all: build lint test
 
@@ -31,3 +31,17 @@ race:
 
 fmt:
 	gofmt -w .
+
+# End-to-end harness smoke: a small grid (8 trials plus a deliberate
+# livelock) journaled to disk, then resumed from the same journal. The
+# resumed report must be byte-identical to the fresh one and the wedged
+# self-test trial must be reported hung.
+campaign-smoke: GRID = -bench gzip,mesa -seeds 2 -leadrates 40,80 -n 40000 \
+	-workers 2 -livelock-trial -livelock-after 3000 -json
+campaign-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/r3dfault $(GRID) -journal "$$tmp/run.jsonl" > "$$tmp/fresh.json" && \
+	$(GO) run ./cmd/r3dfault $(GRID) -journal "$$tmp/run.jsonl" -resume > "$$tmp/resumed.json" && \
+	cmp "$$tmp/fresh.json" "$$tmp/resumed.json" || { echo "campaign-smoke: resume not byte-identical"; exit 1; }; \
+	grep -q '"status": "hung"' "$$tmp/resumed.json" || { echo "campaign-smoke: livelock trial not hung"; exit 1; }; \
+	echo "campaign-smoke: OK"

@@ -7,7 +7,8 @@
 //	r3dbench            # full windows, all 19 benchmarks (minutes)
 //	r3dbench -fast      # small windows, 6-benchmark subset (seconds)
 //	r3dbench -only fig4 # one experiment (table2..table8, fig4..fig9,
-//	                    # sec32, sec33, sec34, sec35, sec4)
+//	                    # sec32, sec33, sec34, sec35, sec4; extensions
+//	                    # dfs, degraded, rvqsize, dtm, inject)
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"r3d/internal/experiment"
 )
@@ -56,6 +58,7 @@ func main() {
 		{"degraded", func() (fmt.Stringer, error) { return experiment.DegradedMode(s) }},
 		{"rvqsize", func() (fmt.Stringer, error) { return experiment.QueueSizing(s) }},
 		{"dtm", func() (fmt.Stringer, error) { return experiment.DTMStudy(s, 300) }},
+		{"inject", func() (fmt.Stringer, error) { return experiment.InjectionStudy(s, runtime.GOMAXPROCS(0)) }},
 	}
 
 	ran := false

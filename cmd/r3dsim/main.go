@@ -52,6 +52,11 @@ func main() {
 		rep.row("lead upsets injected\t%d\n", r.LeadInjected)
 		rep.row("trailer RF upsets\t%d (MBUs %d)\n", r.RFInjected, r.MultiBitUpsets)
 		rep.row("coverage\t%.2f\n", r.Coverage)
+		if r.Status == "hung" {
+			rep.row("campaign status\t%s (watchdog: %s; statistics are the partial window)\n", r.Status, r.WatchdogReason)
+		} else {
+			rep.row("campaign status\t%s\n", r.Status)
+		}
 	case *rmt:
 		r, err := r3d.RunReliable(*bench, r3d.L2Org(*l2), *n, *maxGHz, *seed)
 		if err != nil {

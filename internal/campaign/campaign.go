@@ -1,0 +1,359 @@
+// Package campaign is the hardened Monte Carlo harness over the fault
+// package's injection machinery: it fans a grid of trial configurations
+// across a worker pool and keeps the harness itself alive through every
+// pathology a trial can exhibit.
+//
+// The paper's reliability claims (§3.5, §4, Figure 9) rest on
+// statistical fault-injection campaigns — thousands of config×seed
+// trials — and a harness that studies failures must survive them:
+//
+//   - a trial that panics is caught and reported as a structured
+//     outcome with Status "crashed" instead of killing the process;
+//   - a trial whose simulated system stops retiring instructions (a
+//     wedged RVQ barrier, a recovery livelock) is detected by a
+//     forward-progress watchdog — cycle budget plus no-retire deadline,
+//     both measured in simulated cycles so detection is deterministic —
+//     and reported as "hung", giving the study a wedge statistic;
+//   - trials that hit the watchdog under heavy rate acceleration may be
+//     retried a bounded number of times with a deterministically
+//     perturbed seed;
+//   - every completed trial is journaled as one JSONL line, so an
+//     interrupted campaign resumes from the partial journal and the
+//     final aggregate is byte-identical to an uninterrupted run;
+//   - aggregation orders trials by ID, never by completion order, so
+//     the repo's determinism guarantee extends to parallel runs.
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"r3d/internal/core"
+	"r3d/internal/fault"
+	"r3d/internal/nuca"
+	"r3d/internal/ooo"
+	"r3d/internal/trace"
+)
+
+// Status classifies how a trial ended.
+type Status string
+
+// The outcome taxonomy: a trial either reaches its instruction target
+// (ok), is stopped by the watchdog (hung), or dies by panic or setup
+// failure (crashed). The harness process survives all three.
+const (
+	StatusOK      Status = "ok"
+	StatusHung    Status = "hung"
+	StatusCrashed Status = "crashed"
+)
+
+// Reasons attached to non-ok outcomes.
+const (
+	ReasonNoProgress  = "no-progress"  // Progress() flat for the no-retire deadline
+	ReasonCycleBudget = "cycle-budget" // hard CycleBudget reached
+	ReasonWallClock   = "wall-clock"   // host-clock stall timeout (harness last resort)
+)
+
+// TrialSpec is one grid point: a workload/system selection plus the
+// injection configuration to run on it. IDs must be unique within a
+// campaign; they key journal resume and aggregate ordering.
+type TrialSpec struct {
+	ID    string `json:"id"`
+	Bench string `json:"bench"`
+	// L2 selects the cache organization: "2d-a" (default), "2d-2a" or
+	// "3d-2a".
+	L2 string `json:"l2,omitempty"`
+	// CheckerMaxGHz caps the checker DFS range (0 = the 2.0 GHz
+	// homogeneous stack).
+	CheckerMaxGHz float64              `json:"checker_max_ghz,omitempty"`
+	Config        fault.CampaignConfig `json:"config"`
+}
+
+// TrialOutcome is the structured result of one trial, whatever happened
+// to it. It is what the journal stores and the report aggregates, so it
+// deliberately contains no wall-clock timestamps or host-dependent
+// fields: two runs of the same spec produce identical outcomes.
+type TrialOutcome struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+	// Reason qualifies non-ok outcomes: a watchdog reason for hung
+	// trials, the panic or setup error message for crashed ones.
+	Reason string `json:"reason,omitempty"`
+	// Attempts counts runs of this trial including retries (≥ 1).
+	Attempts int `json:"attempts"`
+	// HungAtCycle is the leading cycle at which the watchdog fired.
+	HungAtCycle uint64 `json:"hung_at_cycle,omitempty"`
+	// Result holds the (possibly partial, for hung trials) campaign
+	// statistics; nil for crashed trials.
+	Result *fault.CampaignResult `json:"result,omitempty"`
+}
+
+// Watchdog bounds a trial's forward progress in simulated time. Both
+// limits are deterministic functions of the simulation, so whether a
+// trial hangs — and at which cycle — is identical on every run.
+type Watchdog struct {
+	// NoProgressCycles is the no-retire deadline: the trial is hung if
+	// the system's Progress counter does not advance for this many
+	// leading cycles. Must comfortably exceed recovery penalties and
+	// DFS ramp transients; 0 selects DefaultNoProgressCycles.
+	NoProgressCycles uint64
+	// CheckEveryCycles is the probe granularity (0 selects
+	// DefaultCheckEveryCycles). Probing every cycle would double the
+	// cost of the hot loop for no detection benefit.
+	CheckEveryCycles uint64
+}
+
+// Watchdog defaults: the recovery penalty is 80 cycles and DFS
+// transients span a few thousand, so 50k no-retire cycles only ever
+// trips on a genuinely wedged system.
+const (
+	DefaultNoProgressCycles = 50_000
+	DefaultCheckEveryCycles = 1024
+)
+
+func (w Watchdog) withDefaults() Watchdog {
+	if w.NoProgressCycles == 0 {
+		w.NoProgressCycles = DefaultNoProgressCycles
+	}
+	if w.CheckEveryCycles == 0 {
+		w.CheckEveryCycles = DefaultCheckEveryCycles
+	}
+	return w
+}
+
+// SystemBuilder constructs the RMT system for one trial. The builder is
+// called once per attempt, with the attempt's (possibly retry-perturbed)
+// seed already substituted into spec.Config.Seed.
+type SystemBuilder func(spec TrialSpec) (*core.System, error)
+
+// BuildSystem is the default builder: synthetic workload by name,
+// selected L2 organization, default leading core, checker capped at
+// spec.CheckerMaxGHz.
+func BuildSystem(spec TrialSpec) (*core.System, error) {
+	b, err := trace.ByName(spec.Bench)
+	if err != nil {
+		return nil, err
+	}
+	var l2cfg nuca.Config
+	switch spec.L2 {
+	case "", "2d-a":
+		l2cfg = nuca.Config2DA(nuca.DistributedSets)
+	case "2d-2a":
+		l2cfg = nuca.Config2D2A(nuca.DistributedSets)
+	case "3d-2a":
+		l2cfg = nuca.Config3D2A(nuca.DistributedSets)
+	default:
+		return nil, fmt.Errorf("campaign: unknown L2 organization %q", spec.L2)
+	}
+	g := trace.MustGenerator(b.Profile, spec.Config.Seed)
+	lead, err := ooo.New(ooo.Default(), g, nuca.New(l2cfg))
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Default(ooo.Default())
+	if spec.CheckerMaxGHz > 0 {
+		cfg.CheckerMaxFreqGHz = spec.CheckerMaxGHz
+	}
+	return core.New(cfg, lead)
+}
+
+// Config drives Run.
+type Config struct {
+	// Workers is the goroutine-pool width (≤ 0 selects 1; trials are
+	// deterministic per spec, so any width yields the same report).
+	Workers int
+	// MaxRetries is the bounded per-trial retry budget for trials the
+	// watchdog reports hung: each retry perturbs the seed by a fixed
+	// stride, giving acceleration-induced wedges another draw. Crashed
+	// trials are not retried — a deterministic panic would only repeat.
+	MaxRetries int
+	// JournalPath appends one JSONL line per completed trial ("",
+	// disables journaling). With Resume, previously journaled outcomes
+	// are reused instead of re-running their trials.
+	JournalPath string
+	Resume      bool
+	Watchdog    Watchdog
+	// StallTimeout is a host-clock last resort against harness bugs: a
+	// trial goroutine that produces no outcome within this wall time is
+	// abandoned and reported hung with ReasonWallClock. It is off (0)
+	// by default because the simulated-cycle watchdog already bounds
+	// every well-formed trial deterministically; enabling it trades
+	// bit-reproducibility of pathological runs for liveness.
+	StallTimeout time.Duration
+	// Builder overrides system construction (nil = BuildSystem).
+	Builder SystemBuilder
+}
+
+// retrySeedStride separates retry seeds from every seed a sane grid
+// would enumerate, while staying a deterministic function of the
+// attempt number.
+const retrySeedStride = 1_000_003
+
+type runner struct {
+	cfg     Config
+	wd      Watchdog
+	builder SystemBuilder
+}
+
+// Run executes the campaign and aggregates a Report ordered by trial
+// ID. The returned error reports harness failures only (duplicate IDs,
+// journal I/O or mismatch); trial failures — panics, wedges — are data,
+// carried in the report, and the caller should exit 0 on them.
+func Run(cfg Config, specs []TrialSpec) (*Report, error) {
+	seen := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		if sp.ID == "" {
+			return nil, fmt.Errorf("campaign: trial with empty ID")
+		}
+		if seen[sp.ID] {
+			return nil, fmt.Errorf("campaign: duplicate trial ID %q", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+	r := &runner{cfg: cfg, wd: cfg.Watchdog.withDefaults(), builder: cfg.Builder}
+	if r.builder == nil {
+		r.builder = BuildSystem
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+
+	var jr *journal
+	completed := map[string]TrialOutcome{}
+	if cfg.JournalPath != "" {
+		var err error
+		jr, completed, err = openJournal(cfg.JournalPath, specs, cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	outcomes := make([]TrialOutcome, len(specs))
+	var pending []int
+	for i, sp := range specs {
+		if out, ok := completed[sp.ID]; ok {
+			outcomes[i] = out
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out := r.trialWithTimeout(specs[i])
+				if jr != nil {
+					jr.append(out)
+				}
+				outcomes[i] = out
+			}
+		}()
+	}
+	for _, i := range pending {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	if jr != nil {
+		if err := jr.close(); err != nil {
+			return nil, err
+		}
+	}
+	return buildReport(outcomes), nil
+}
+
+// trialWithTimeout wraps runTrial in the optional host-clock stall
+// guard. A trial abandoned here leaks its goroutine by design: there is
+// no way to preempt it, and keeping the campaign alive is the point.
+func (r *runner) trialWithTimeout(spec TrialSpec) TrialOutcome {
+	if r.cfg.StallTimeout <= 0 {
+		return r.runTrial(spec)
+	}
+	ch := make(chan TrialOutcome, 1)
+	go func() { ch <- r.runTrial(spec) }()
+	//lint:ignore wallclock watchdog driver: the host-clock stall guard is the harness's last resort against a trial the simulated-cycle watchdog cannot bound (e.g. a bug in Step itself); it is opt-in and never fires on well-formed trials
+	timer := time.NewTimer(r.cfg.StallTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out
+	case <-timer.C:
+		return TrialOutcome{ID: spec.ID, Status: StatusHung, Reason: ReasonWallClock, Attempts: 1}
+	}
+}
+
+// runTrial runs one trial with the bounded retry policy for hung
+// outcomes.
+func (r *runner) runTrial(spec TrialSpec) TrialOutcome {
+	for attempt := 1; ; attempt++ {
+		s := spec
+		s.Config.Seed = spec.Config.Seed + int64(attempt-1)*retrySeedStride
+		out := r.runAttempt(s)
+		out.ID = spec.ID
+		out.Attempts = attempt
+		if out.Status != StatusHung || attempt > r.cfg.MaxRetries {
+			return out
+		}
+	}
+}
+
+// runAttempt builds the system and drives the campaign under the
+// watchdog, converting panics into crashed outcomes.
+func (r *runner) runAttempt(spec TrialSpec) (out TrialOutcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = TrialOutcome{Status: StatusCrashed, Reason: fmt.Sprintf("panic: %v", p)}
+		}
+	}()
+	sys, err := r.builder(spec)
+	if err != nil {
+		return TrialOutcome{Status: StatusCrashed, Reason: "build: " + err.Error()}
+	}
+	return RunSupervised(sys, spec.Config, r.wd)
+}
+
+// RunSupervised drives one injection campaign over an existing system
+// under the forward-progress watchdog, with panic isolation. It is the
+// single-trial core of the harness, exported so the r3d facade's
+// RunInjection gains the same protections.
+func RunSupervised(sys *core.System, cfg fault.CampaignConfig, wd Watchdog) (out TrialOutcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = TrialOutcome{Status: StatusCrashed, Reason: fmt.Sprintf("panic: %v", p)}
+		}
+	}()
+	wd = wd.withDefaults()
+	camp, err := fault.NewCampaign(sys, cfg)
+	if err != nil {
+		return TrialOutcome{Status: StatusCrashed, Reason: "config: " + err.Error()}
+	}
+	hung := func(reason string) TrialOutcome {
+		res := camp.Result()
+		return TrialOutcome{Status: StatusHung, Reason: reason, HungAtCycle: camp.Cycles(), Result: &res}
+	}
+	lastProgress := sys.Progress()
+	lastAdvance := uint64(0)
+	for !camp.Done() {
+		if camp.BudgetExhausted() {
+			return hung(ReasonCycleBudget)
+		}
+		camp.Step()
+		if camp.Cycles()%wd.CheckEveryCycles != 0 {
+			continue
+		}
+		if p := sys.Progress(); p > lastProgress {
+			lastProgress, lastAdvance = p, camp.Cycles()
+		} else if camp.Cycles()-lastAdvance >= wd.NoProgressCycles {
+			return hung(ReasonNoProgress)
+		}
+	}
+	res := camp.Result()
+	return TrialOutcome{Status: StatusOK, Result: &res}
+}

@@ -1,0 +1,181 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+)
+
+// The journal is an append-only JSONL file: a header line identifying
+// the grid, then one TrialOutcome per completed trial in completion
+// order. Because every line is written atomically under a mutex, a
+// campaign killed at any point leaves at worst one torn final line;
+// resume truncates the file back to its last valid line, re-runs only
+// the trials without an outcome, and the aggregate (ordered by trial
+// ID, not journal order) is byte-identical to an uninterrupted run.
+
+const (
+	journalMagic   = "r3d-campaign-journal"
+	journalVersion = 1
+)
+
+type journalHeader struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Fingerprint hashes the canonical encoding of the full trial grid:
+	// resuming under a different grid is an error, not a silent partial
+	// re-run.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// gridFingerprint hashes the canonical JSON encoding of the specs.
+func gridFingerprint(specs []TrialSpec) (string, error) {
+	enc, err := json.Marshal(specs)
+	if err != nil {
+		return "", fmt.Errorf("campaign: fingerprint grid: %w", err)
+	}
+	h := fnv.New64a()
+	if _, err := h.Write(enc); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+type journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error // first append error, surfaced at close
+}
+
+// openJournal prepares the journal at path. Without resume the file is
+// truncated and a fresh header written. With resume an existing file is
+// validated against the grid fingerprint, truncated past any torn final
+// line, and its outcomes returned; a missing or empty file degrades to
+// a fresh start so `-resume` is safe on the first run too.
+func openJournal(path string, specs []TrialSpec, resume bool) (*journal, map[string]TrialOutcome, error) {
+	fp, err := gridFingerprint(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	completed := map[string]TrialOutcome{}
+	if resume {
+		done, validLen, err := readJournal(path, fp)
+		if err != nil {
+			return nil, nil, err
+		}
+		if done != nil {
+			f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+			if err != nil {
+				return nil, nil, fmt.Errorf("campaign: reopen journal: %w", err)
+			}
+			// Drop the torn final line of an interrupted writer so new
+			// outcomes never glue onto its fragment.
+			if err := f.Truncate(validLen); err != nil {
+				return nil, nil, fmt.Errorf("campaign: trim journal: %w", err)
+			}
+			if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+				return nil, nil, fmt.Errorf("campaign: seek journal: %w", err)
+			}
+			return &journal{f: f}, done, nil
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: create journal: %w", err)
+	}
+	hdr, err := json.Marshal(journalHeader{Magic: journalMagic, Version: journalVersion, Fingerprint: fp})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		return nil, nil, fmt.Errorf("campaign: write journal header: %w", err)
+	}
+	return &journal{f: f}, completed, nil
+}
+
+// readJournal parses an existing journal, returning the outcomes it
+// holds and the byte length of its valid prefix (header plus intact
+// outcome lines). A nil map (no error) means "start fresh": the file is
+// missing or empty. A present file with a foreign header or fingerprint
+// is an error.
+func readJournal(path string, fingerprint string) (map[string]TrialOutcome, int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("campaign: read journal: %w", err)
+	}
+	if len(data) == 0 {
+		return nil, 0, nil // empty file: fresh start
+	}
+	line, rest, ok := cutLine(data)
+	var hdr journalHeader
+	if !ok || json.Unmarshal(line, &hdr) != nil || hdr.Magic != journalMagic {
+		return nil, 0, fmt.Errorf("campaign: %s is not a campaign journal", path)
+	}
+	if hdr.Version != journalVersion {
+		return nil, 0, fmt.Errorf("campaign: journal version %d unsupported (want %d)", hdr.Version, journalVersion)
+	}
+	if hdr.Fingerprint != fingerprint {
+		return nil, 0, fmt.Errorf("campaign: journal %s was written for a different trial grid (fingerprint %s, want %s); pass a fresh -journal path or drop -resume", path, hdr.Fingerprint, fingerprint)
+	}
+	done := map[string]TrialOutcome{}
+	validLen := int64(len(line) + 1)
+	for len(rest) > 0 {
+		line, next, ok := cutLine(rest)
+		if !ok {
+			break // torn final line: the trial simply re-runs
+		}
+		var out TrialOutcome
+		if json.Unmarshal(line, &out) != nil || out.ID == "" {
+			break // corrupt tail: everything from here re-runs
+		}
+		done[out.ID] = out
+		validLen += int64(len(line) + 1)
+		rest = next
+	}
+	return done, validLen, nil
+}
+
+// cutLine splits b at its first newline. ok is false when no newline
+// remains — an unterminated fragment is never a committed record, since
+// the writer emits each record and its newline in a single write.
+func cutLine(b []byte) (line, rest []byte, ok bool) {
+	i := bytes.IndexByte(b, '\n')
+	if i < 0 {
+		return nil, nil, false
+	}
+	return b[:i], b[i+1:], true
+}
+
+// append journals one outcome. Errors are sticky and surfaced at close
+// so workers never have to unwind mid-trial for an I/O failure.
+func (j *journal) append(out TrialOutcome) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	enc, err := json.Marshal(out)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.f.Write(append(enc, '\n')); err != nil {
+		j.err = fmt.Errorf("campaign: journal append: %w", err)
+	}
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Close(); j.err == nil && err != nil {
+		j.err = fmt.Errorf("campaign: close journal: %w", err)
+	}
+	return j.err
+}

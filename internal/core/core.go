@@ -176,6 +176,7 @@ type System struct {
 	credit         float64
 	cycle          uint64
 	recoveryStall  int
+	wedged         bool
 
 	freqHist *stats.Histogram
 	st       SystemStats
@@ -274,6 +275,30 @@ func (s *System) CorruptNextLeadResult(mask uint64) {
 // inorder.Checker.CorruptRF).
 func (s *System) CorruptCheckerRF(r isa.Reg, bits int) { s.checker.CorruptRF(r, bits) }
 
+// WedgeChecker models a hard failure of the checker die's clock
+// distribution: from the next cycle on the trailing core stops consuming
+// queue entries, so the slack fills, the commit budget collapses to zero
+// and the leading thread wedges at the RVQ barrier — a livelock, not a
+// crash. The fault survey motivating the campaign harness treats exactly
+// this outcome as a first-class result ("hung"), so injecting it lets
+// the harness's forward-progress watchdog be exercised deliberately.
+// A wedged system never finishes a Run or Drain on its own; it must be
+// driven under a watchdog (see internal/campaign).
+func (s *System) WedgeChecker() { s.wedged = true }
+
+// Wedged reports whether a checker-die livelock has been injected.
+func (s *System) Wedged() bool { return s.wedged }
+
+// Progress returns a monotonically non-decreasing count of retirement
+// events: leading-core committed instructions plus checker-verified
+// instructions. External watchdogs use it as the forward-progress
+// signal — a system whose Progress does not advance over a cycle window
+// is livelocked (e.g. wedged at the RVQ barrier), even though Step
+// keeps returning.
+func (s *System) Progress() uint64 {
+	return s.lead.Stats().Instructions + s.checker.Stats().Checked
+}
+
 // --- simulation -------------------------------------------------------------
 
 // Step advances the system by one leading-core cycle.
@@ -321,7 +346,11 @@ func (s *System) Step() {
 		}
 	}
 
-	// Checker: runs at its own clock; accumulate fractional cycles.
+	// Checker: runs at its own clock; accumulate fractional cycles. A
+	// wedged checker (injected livelock) earns no cycles at all.
+	if s.wedged {
+		return
+	}
 	s.credit += s.checkerFreqGHz / s.cfg.LeadFreqGHz
 	for s.credit >= 1 {
 		s.credit--
@@ -471,7 +500,7 @@ func (s *System) Run(n uint64) SystemStats {
 // leading-core cycles.
 func (s *System) Drain() uint64 {
 	start := s.cycle
-	for s.rvqCount > 0 {
+	for s.rvqCount > 0 && !s.wedged {
 		s.cycle++
 		s.st.Cycles++
 		leadPeriodPs := 1000.0 / s.cfg.LeadFreqGHz

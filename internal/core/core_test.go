@@ -258,3 +258,57 @@ func TestMeanRVQOccupancyWithinBounds(t *testing.T) {
 		t.Errorf("mean RVQ occupancy %.1f out of range", occ)
 	}
 }
+
+func TestProgressAdvancesOnCleanRun(t *testing.T) {
+	s := newSystem(t, "gzip", 9)
+	if s.Progress() != 0 {
+		t.Fatalf("fresh system reports progress %d", s.Progress())
+	}
+	last := uint64(0)
+	for i := 0; i < 5; i++ {
+		s.Run(uint64(10_000 * (i + 1)))
+		p := s.Progress()
+		if p <= last {
+			t.Fatalf("progress did not advance: %d after %d", p, last)
+		}
+		last = p
+	}
+	want := s.Lead().Stats().Instructions + s.Checker().Stats().Checked
+	if last != want {
+		t.Errorf("progress %d != commits+checked %d", last, want)
+	}
+}
+
+func TestWedgeCheckerLivelocksLeadingThread(t *testing.T) {
+	s := newSystem(t, "gzip", 10)
+	s.Run(20_000)
+	s.WedgeChecker()
+	if !s.Wedged() {
+		t.Fatal("Wedged() false after WedgeChecker")
+	}
+	// The leading thread runs on until the RVQ barrier fills, then all
+	// forward progress must stop: the checker earns no cycles, nothing
+	// drains, and the commit budget collapses to zero.
+	s.lead.SetFetchBudget(^uint64(0))
+	for i := 0; i < 2*DefaultRVQSize; i++ {
+		s.Step()
+	}
+	wedgedAt := s.Progress()
+	checked := s.Checker().Stats().Checked
+	for i := 0; i < 50_000; i++ {
+		s.Step()
+	}
+	if p := s.Progress(); p != wedgedAt {
+		t.Errorf("wedged system still made progress: %d -> %d", wedgedAt, p)
+	}
+	if c := s.Checker().Stats().Checked; c != checked {
+		t.Errorf("wedged checker still checked instructions: %d -> %d", checked, c)
+	}
+	if s.RVQOccupancy() != DefaultRVQSize {
+		t.Errorf("RVQ not saturated under wedge: %d/%d", s.RVQOccupancy(), DefaultRVQSize)
+	}
+	// Drain must refuse to spin on a wedged system.
+	if n := s.Drain(); n != 0 {
+		t.Errorf("Drain on a wedged system should return immediately, spent %d cycles", n)
+	}
+}

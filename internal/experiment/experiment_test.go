@@ -406,3 +406,34 @@ func TestRenderersNonEmpty(t *testing.T) {
 		}
 	}
 }
+
+func TestInjectionStudy(t *testing.T) {
+	q := Fast()
+	q.Benchmarks = []string{"gzip", "mesa"}
+	q.MeasureInsts = 30_000
+	r, err := InjectionStudy(NewSession(q), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 benches × 2 seeds × 2 lead rates + the livelock self-test.
+	if r.Report.Summary.Trials != 9 || r.Report.Summary.OK != 8 || r.Report.Summary.Hung != 1 {
+		t.Fatalf("unexpected campaign summary: %+v", r.Report.Summary)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("want one row per benchmark, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Trials < 4 || row.OK < 4 {
+			t.Errorf("%s: %d trials / %d ok, want ≥4 each", row.Bench, row.Trials, row.OK)
+		}
+		// Coverage is detected-per-leading-injection, so checker-RF
+		// detections can push it past 1.
+		if row.MeanCoverage <= 0 {
+			t.Errorf("%s: coverage %.3f, want > 0", row.Bench, row.MeanCoverage)
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "hung (no-progress") {
+		t.Errorf("self-test verdict missing from render:\n%s", out)
+	}
+}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"r3d/internal/campaign"
+	"r3d/internal/tech"
+)
+
+// --- Monte Carlo injection campaigns (§3.5, Figure 9) ------------------------
+
+// InjectionBenchRow aggregates one benchmark's trials: the per-seed,
+// per-rate coverage spread behind the paper's "all injected errors
+// detected" claim.
+type InjectionBenchRow struct {
+	Bench        string
+	Trials       int
+	OK           int
+	MeanCoverage float64 // over ok trials with ≥1 leading-side injection
+	Detected     uint64
+	Unrecovered  uint64
+}
+
+// InjectionStudyResult is the campaign-harness reliability study.
+type InjectionStudyResult struct {
+	Rows []InjectionBenchRow
+	// Report is the full hardened-campaign aggregate, including the
+	// deliberately-wedged self-test trial that proves the watchdog works
+	// inside a production run.
+	Report *campaign.Report
+}
+
+// InjectionStudy fans accelerated soft-error campaigns over the suite
+// through the hardened Monte Carlo harness: benches × two seeds × two
+// leading-core rates in parallel workers, plus a deliberately-wedged
+// livelock trial whose expected outcome is "hung" — a standing self-test
+// that the forward-progress watchdog would catch a real wedge. Trials
+// run cold (no warmup window): injection statistics are rate ratios, not
+// microarchitectural timings, so the transient does not bias them.
+func InjectionStudy(s *Session, workers int) (InjectionStudyResult, error) {
+	var res InjectionStudyResult
+	suite := s.Q.Suite()
+	benches := make([]string, 0, len(suite))
+	for _, b := range suite {
+		benches = append(benches, b.Profile.Name)
+	}
+	grid := campaign.Grid{
+		Benches:      benches,
+		Seeds:        []int64{s.Q.Seed, s.Q.Seed + 1},
+		LeadRates:    []float64{20, 80},
+		RFRates:      []float64{50},
+		Instructions: s.Q.MeasureInsts,
+		Node:         tech.Node65,
+	}
+	specs, err := grid.Trials()
+	if err != nil {
+		return res, err
+	}
+	selftest, err := grid.SelfTestTrial(3000)
+	if err != nil {
+		return res, err
+	}
+	specs = append(specs, selftest)
+
+	res.Report, err = campaign.Run(campaign.Config{Workers: workers, MaxRetries: 1}, specs)
+	if err != nil {
+		return res, err
+	}
+
+	// Per-bench aggregation in suite order; trials within the report are
+	// ID-sorted, so accumulation order is deterministic.
+	for _, bench := range benches {
+		row := InjectionBenchRow{Bench: bench}
+		covered := 0
+		for _, tr := range res.Report.Trials {
+			if !strings.HasPrefix(tr.ID, bench+"/") {
+				continue
+			}
+			row.Trials++
+			if tr.Status == campaign.StatusOK {
+				row.OK++
+			}
+			if tr.Result == nil {
+				continue
+			}
+			row.Detected += tr.Result.Detected
+			row.Unrecovered += tr.Result.Unrecovered
+			if tr.Status == campaign.StatusOK && tr.Result.LeadInjected > 0 {
+				row.MeanCoverage += tr.Result.Coverage()
+				covered++
+			}
+		}
+		if covered > 0 {
+			row.MeanCoverage /= float64(covered)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the injection study.
+func (r InjectionStudyResult) String() string {
+	var b strings.Builder
+	s := r.Report.Summary
+	fmt.Fprintf(&b, "Monte Carlo injection campaigns (hardened harness, §3.5/Fig.9 regime)\n")
+	fmt.Fprintf(&b, "  %-9s %7s %5s %9s %9s %12s\n", "bench", "trials", "ok", "coverage", "detected", "unrecovered")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-9s %7d %5d %9.3f %9d %12d\n",
+			row.Bench, row.Trials, row.OK, row.MeanCoverage, row.Detected, row.Unrecovered)
+	}
+	fmt.Fprintf(&b, "  %d trials: %d ok, %d hung, %d crashed (%d retried); mean coverage %.3f\n",
+		s.Trials, s.OK, s.Hung, s.Crashed, s.Retried, s.MeanCoverage)
+	fmt.Fprintf(&b, "  watchdog self-test (deliberate livelock): ")
+	verdict := "MISSING"
+	for _, tr := range r.Report.Trials {
+		if tr.ID == "selftest/livelock" {
+			verdict = fmt.Sprintf("%s (%s @cycle %d)", tr.Status, tr.Reason, tr.HungAtCycle)
+		}
+	}
+	fmt.Fprintf(&b, "%s — expected hung/no-progress\n", verdict)
+	return b.String()
+}

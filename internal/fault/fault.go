@@ -17,7 +17,9 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"r3d/internal/core"
@@ -166,9 +168,33 @@ func (s *SoftErrorInjector) Tick(sys *core.System) {
 	}
 }
 
+// ErrCycleBudget is wrapped by RunCampaign when the hard cycle budget
+// runs out before the instruction target: the simulated system stopped
+// making forward progress (a wedge, a recovery storm, or simply a budget
+// set too tight), and the caller can distinguish it from a config error
+// with errors.Is.
+var ErrCycleBudget = errors.New("fault: cycle budget exhausted before instruction target")
+
+// DefaultCycleBudget returns a generous hard cycle cap for a campaign
+// over n instructions: worst-case observed CPIs in the suite are below
+// 10 even under heavy recovery storms, so 400 cycles per instruction
+// plus a fixed floor only ever triggers on a genuinely wedged system.
+func DefaultCycleBudget(n uint64) uint64 {
+	const perInst, floor = 400, 1 << 20
+	if n > (^uint64(0)-floor)/perInst {
+		return ^uint64(0)
+	}
+	return n*perInst + floor
+}
+
 // CampaignConfig drives RunCampaign.
 type CampaignConfig struct {
 	Instructions uint64
+	// CycleBudget is the hard cap on leading-core cycles. The run loop
+	// terminates with ErrCycleBudget when it is reached, so a campaign
+	// over a wedged system always returns. Required; see
+	// DefaultCycleBudget for a safe default.
+	CycleBudget uint64
 	// Soft-error rates per million leading cycles (accelerated).
 	LeadSoftPerMCycle    float64
 	CheckerSoftPerMCycle float64
@@ -179,6 +205,12 @@ type CampaignConfig struct {
 	TimingAccel  float64
 	EnableTiming bool
 
+	// LivelockAfterCycles, when non-zero, wedges the checker die at the
+	// given leading cycle (core.System.WedgeChecker) — a deliberate
+	// harness self-test fault whose expected outcome is a watchdog trip,
+	// not campaign completion.
+	LivelockAfterCycles uint64
+
 	Seed int64
 }
 
@@ -187,11 +219,22 @@ func (c CampaignConfig) Validate() error {
 	if c.Instructions == 0 {
 		return fmt.Errorf("fault: zero-instruction campaign")
 	}
+	if c.CycleBudget == 0 {
+		return fmt.Errorf("fault: zero cycle budget (see DefaultCycleBudget)")
+	}
 	if c.LeadSoftPerMCycle < 0 || c.CheckerSoftPerMCycle < 0 {
 		return fmt.Errorf("fault: negative rate")
 	}
-	if c.EnableTiming && c.CritPathPs <= 0 {
-		return fmt.Errorf("fault: timing injection needs a critical path")
+	if math.IsNaN(c.LeadSoftPerMCycle) || math.IsNaN(c.CheckerSoftPerMCycle) {
+		return fmt.Errorf("fault: NaN rate")
+	}
+	if c.EnableTiming {
+		if c.CritPathPs <= 0 || math.IsNaN(c.CritPathPs) {
+			return fmt.Errorf("fault: timing injection needs a critical path")
+		}
+		if c.TimingAccel < 0 || math.IsNaN(c.TimingAccel) {
+			return fmt.Errorf("fault: negative or NaN timing acceleration")
+		}
 	}
 	return nil
 }
@@ -199,6 +242,7 @@ func (c CampaignConfig) Validate() error {
 // CampaignResult summarizes an injection run.
 type CampaignResult struct {
 	Instructions    uint64
+	Cycles          uint64
 	LeadInjected    uint64
 	RFInjected      uint64
 	MBUs            uint64
@@ -220,48 +264,106 @@ func (r CampaignResult) Coverage() float64 {
 	return float64(r.Detected) / float64(r.LeadInjected)
 }
 
-// RunCampaign executes an injection campaign over a freshly-built RMT
-// system. The caller supplies the system (workload, L2 organization and
-// checker frequency cap are its business); the campaign wires injectors,
-// runs, and reports.
-func RunCampaign(sys *core.System, cfg CampaignConfig) (CampaignResult, error) {
+// Campaign is a stepwise injection run over one RMT system: the
+// injectors are wired at construction and each Step advances one leading
+// cycle. RunCampaign drives it to completion serially; the worker-pool
+// harness in internal/campaign drives it under a forward-progress
+// watchdog instead, interleaving progress checks between steps.
+type Campaign struct {
+	sys    *core.System
+	cfg    CampaignConfig
+	soft   *SoftErrorInjector
+	timing *TimingInjector
+	cycles uint64
+}
+
+// NewCampaign validates the config and wires the injectors onto sys.
+func NewCampaign(sys *core.System, cfg CampaignConfig) (*Campaign, error) {
 	if err := cfg.Validate(); err != nil {
-		return CampaignResult{}, err
+		return nil, err
 	}
 	soft, err := NewSoftErrorInjector(nodeOr65(cfg.TimingNode), cfg.LeadSoftPerMCycle, cfg.CheckerSoftPerMCycle, cfg.Seed)
 	if err != nil {
-		return CampaignResult{}, err
+		return nil, err
 	}
-	var timing *TimingInjector
+	c := &Campaign{sys: sys, cfg: cfg, soft: soft}
 	if cfg.EnableTiming {
-		timing = NewTimingInjector(nodeOr65(cfg.TimingNode), cfg.CritPathPs, cfg.TimingAccel, cfg.Seed+1)
-		sys.SetCheckerCycleHook(timing.Hook)
+		c.timing = NewTimingInjector(nodeOr65(cfg.TimingNode), cfg.CritPathPs, cfg.TimingAccel, cfg.Seed+1)
+		sys.SetCheckerCycleHook(c.timing.Hook)
 	}
-
 	sys.Lead().SetFetchBudget(cfg.Instructions)
-	for sys.Lead().Stats().Instructions < cfg.Instructions && !sys.Lead().Drained() {
-		soft.Tick(sys)
-		sys.Step()
-	}
+	return c, nil
+}
 
-	st := sys.Stats()
+// Step advances one leading cycle: due faults are injected, the system
+// steps, and a configured livelock wedge is armed at its cycle.
+func (c *Campaign) Step() {
+	c.cycles++
+	if c.cfg.LivelockAfterCycles > 0 && c.cycles == c.cfg.LivelockAfterCycles {
+		c.sys.WedgeChecker()
+	}
+	c.soft.Tick(c.sys)
+	c.sys.Step()
+}
+
+// Done reports whether the instruction target is reached (or the
+// workload drained). A wedged system is never Done — terminating anyway
+// is the watchdog's job.
+func (c *Campaign) Done() bool {
+	return c.sys.Lead().Stats().Instructions >= c.cfg.Instructions || c.sys.Lead().Drained()
+}
+
+// Cycles returns the leading cycles stepped so far.
+func (c *Campaign) Cycles() uint64 { return c.cycles }
+
+// BudgetExhausted reports whether the hard cycle budget is spent.
+func (c *Campaign) BudgetExhausted() bool { return c.cycles >= c.cfg.CycleBudget }
+
+// System returns the system under injection (for progress probes).
+func (c *Campaign) System() *core.System { return c.sys }
+
+// Result summarizes the run so far.
+func (c *Campaign) Result() CampaignResult {
+	st := c.sys.Stats()
 	res := CampaignResult{
-		Instructions: sys.Lead().Stats().Instructions,
-		LeadInjected: soft.LeadInjected,
-		RFInjected:   soft.RFInjected,
-		MBUs:         soft.MBUs,
+		Instructions: c.sys.Lead().Stats().Instructions,
+		Cycles:       c.cycles,
+		LeadInjected: c.soft.LeadInjected,
+		RFInjected:   c.soft.RFInjected,
+		MBUs:         c.soft.MBUs,
 		Detected:     st.ErrorsDetected,
 		Recovered:    st.ErrorsRecovered,
 		Unrecovered:  st.ErrorsUnrecovered,
 	}
-	if timing != nil {
-		res.TimingInjected = timing.Injected
-		res.TimingBursts = timing.Bursts
+	if c.timing != nil {
+		res.TimingInjected = c.timing.Injected
+		res.TimingBursts = c.timing.Bursts
 	}
 	if st.ErrorsDetected > 0 {
 		res.MeanDetectSlack = float64(st.DetectionSlackSum) / float64(st.ErrorsDetected)
 	}
-	return res, nil
+	return res
+}
+
+// RunCampaign executes an injection campaign over a freshly-built RMT
+// system. The caller supplies the system (workload, L2 organization and
+// checker frequency cap are its business); the campaign wires injectors,
+// runs, and reports. The run always terminates: when cfg.CycleBudget is
+// reached first, the partial result is returned along with an error
+// wrapping ErrCycleBudget.
+func RunCampaign(sys *core.System, cfg CampaignConfig) (CampaignResult, error) {
+	c, err := NewCampaign(sys, cfg)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	for !c.Done() {
+		if c.BudgetExhausted() {
+			return c.Result(), fmt.Errorf("%w: %d cycles spent, %d/%d instructions",
+				ErrCycleBudget, c.cycles, sys.Lead().Stats().Instructions, cfg.Instructions)
+		}
+		c.Step()
+	}
+	return c.Result(), nil
 }
 
 func nodeOr65(n tech.Node) tech.Node {

@@ -1,6 +1,10 @@
 package fault
 
 import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
 	"testing"
 
 	"r3d/internal/core"
@@ -33,20 +37,152 @@ func newSystem(t *testing.T, bench string, seed int64, maxGHz float64) *core.Sys
 }
 
 func TestCampaignValidate(t *testing.T) {
-	bad := CampaignConfig{}
-	if err := bad.Validate(); err == nil {
-		t.Error("zero instructions accepted")
+	// valid reference config each rejection case perturbs
+	ok := CampaignConfig{Instructions: 1000, CycleBudget: DefaultCycleBudget(1000)}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("reference config rejected: %v", err)
 	}
-	bad = CampaignConfig{Instructions: 1, LeadSoftPerMCycle: -1}
-	if err := bad.Validate(); err == nil {
-		t.Error("negative rate accepted")
+	cases := []struct {
+		name   string
+		mutate func(*CampaignConfig)
+	}{
+		{"zero instructions", func(c *CampaignConfig) { c.Instructions = 0 }},
+		{"zero cycle budget", func(c *CampaignConfig) { c.CycleBudget = 0 }},
+		{"negative lead rate", func(c *CampaignConfig) { c.LeadSoftPerMCycle = -1 }},
+		{"negative checker rate", func(c *CampaignConfig) { c.CheckerSoftPerMCycle = -1 }},
+		{"NaN lead rate", func(c *CampaignConfig) { c.LeadSoftPerMCycle = math.NaN() }},
+		{"NaN checker rate", func(c *CampaignConfig) { c.CheckerSoftPerMCycle = math.NaN() }},
+		{"timing without critical path", func(c *CampaignConfig) { c.EnableTiming = true }},
+		{"timing with NaN critical path", func(c *CampaignConfig) { c.EnableTiming = true; c.CritPathPs = math.NaN() }},
+		{"negative timing accel", func(c *CampaignConfig) { c.EnableTiming = true; c.CritPathPs = 495; c.TimingAccel = -0.5 }},
+		{"NaN timing accel", func(c *CampaignConfig) { c.EnableTiming = true; c.CritPathPs = 495; c.TimingAccel = math.NaN() }},
 	}
-	bad = CampaignConfig{Instructions: 1, EnableTiming: true}
-	if err := bad.Validate(); err == nil {
-		t.Error("timing without critical path accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ok
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
 	}
 	if _, err := RunCampaign(newSystem(t, "gzip", 1, 0), CampaignConfig{}); err == nil {
 		t.Error("RunCampaign must reject invalid config")
+	}
+}
+
+func TestCycleBudgetTerminatesWedgedSystem(t *testing.T) {
+	// A deliberately-wedged system (checker-die livelock at cycle 1000)
+	// must not spin the legacy serial path forever: the hard cycle
+	// budget stops it with a distinguishable error and partial stats.
+	sys := newSystem(t, "gzip", 8, 0)
+	res, err := RunCampaign(sys, CampaignConfig{
+		Instructions:        1_000_000,
+		CycleBudget:         20_000,
+		LivelockAfterCycles: 1000,
+		Seed:                3,
+	})
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("want ErrCycleBudget, got %v", err)
+	}
+	if res.Cycles != 20_000 {
+		t.Errorf("budget-exhausted run reports %d cycles, want 20000", res.Cycles)
+	}
+	if res.Instructions >= 1_000_000 {
+		t.Errorf("wedged system claims to have finished (%d instructions)", res.Instructions)
+	}
+	if !sys.Wedged() {
+		t.Error("livelock injection never armed")
+	}
+}
+
+func TestDefaultCycleBudgetSaturates(t *testing.T) {
+	if b := DefaultCycleBudget(^uint64(0)); b != ^uint64(0) {
+		t.Errorf("overflowing budget must saturate, got %d", b)
+	}
+	if b := DefaultCycleBudget(1000); b <= 400_000 {
+		t.Errorf("budget %d too tight for 1000 instructions", b)
+	}
+}
+
+func TestZeroRateInjectorsNeverFire(t *testing.T) {
+	sys := newSystem(t, "gzip", 9, 0)
+	soft, err := NewSoftErrorInjector(tech.Node65, 0, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing := NewTimingInjector(tech.Node65, 495, 0, 5) // zero acceleration
+	sys.SetCheckerCycleHook(timing.Hook)
+	sys.Lead().SetFetchBudget(50_000)
+	for sys.Lead().Stats().Instructions < 50_000 && !sys.Lead().Drained() {
+		soft.Tick(sys)
+		sys.Step()
+	}
+	if soft.LeadInjected != 0 || soft.RFInjected != 0 || soft.MBUs != 0 {
+		t.Errorf("zero-rate soft injector fired: lead %d rf %d mbus %d",
+			soft.LeadInjected, soft.RFInjected, soft.MBUs)
+	}
+	if timing.Injected != 0 {
+		t.Errorf("zero-accel timing injector fired %d times", timing.Injected)
+	}
+	st := sys.Stats()
+	if st.ErrorsDetected != 0 {
+		t.Errorf("clean run detected %d errors", st.ErrorsDetected)
+	}
+}
+
+// TestSoftErrorMBUDrawsByteIdentical reruns the injector over the same
+// system and seed and requires the full injection trace — arrival
+// cycles and upset widths — to serialize to identical bytes.
+func TestSoftErrorMBUDrawsByteIdentical(t *testing.T) {
+	record := func(seed int64) []byte {
+		sys := newSystem(t, "vortex", 10, 0)
+		soft, err := NewSoftErrorInjector(tech.Node45, 30, 300, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		var cycle uint64
+		sys.Lead().SetFetchBudget(60_000)
+		for sys.Lead().Stats().Instructions < 60_000 && !sys.Lead().Drained() {
+			before := [3]uint64{soft.LeadInjected, soft.RFInjected, soft.MBUs}
+			soft.Tick(sys)
+			sys.Step()
+			cycle++
+			if after := [3]uint64{soft.LeadInjected, soft.RFInjected, soft.MBUs}; after != before {
+				for _, v := range []uint64{cycle, after[0], after[1], after[2]} {
+					if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		if soft.MBUs == 0 {
+			t.Fatal("45 nm run drew no MBUs; trace proves nothing")
+		}
+		return buf.Bytes()
+	}
+	if a, b := record(77), record(77); !bytes.Equal(a, b) {
+		t.Error("same seed produced different injection traces")
+	}
+	if a, c := record(77), record(78); bytes.Equal(a, c) {
+		t.Error("different seeds produced identical traces (suspicious)")
+	}
+}
+
+// TestTimingInjectorClampsOverUnityProbability drives the accelerated
+// probability far beyond 1 and checks the injector clamps to one error
+// per stage per cycle instead of over-injecting.
+func TestTimingInjectorClampsOverUnityProbability(t *testing.T) {
+	inj := NewTimingInjector(tech.Node65, 500, 1e12, 21)
+	c := newSystem(t, "gzip", 11, 0).Checker()
+	inj.Hook(500, c) // p·accel >> 1 at zero slack
+	if got, want := inj.Injected, uint64(inj.Stages); got != want {
+		t.Errorf("clamped hook injected %d errors, want exactly one per stage (%d)", got, want)
+	}
+	inj.Hook(500, c)
+	if got, want := inj.Injected, uint64(2*inj.Stages); got != want {
+		t.Errorf("second clamped hook: %d total injections, want %d", got, want)
 	}
 }
 
@@ -54,6 +190,7 @@ func TestLeadingSoftErrorsAllDetectedAndRecovered(t *testing.T) {
 	sys := newSystem(t, "gzip", 2, 0)
 	res, err := RunCampaign(sys, CampaignConfig{
 		Instructions:      120000,
+		CycleBudget:       DefaultCycleBudget(120000),
 		LeadSoftPerMCycle: 150, // aggressive acceleration
 		Seed:              7,
 	})
@@ -153,6 +290,7 @@ func TestTimingCampaignInjectsAtTightSlack(t *testing.T) {
 	sys := newSystem(t, "mesa", 5, 0)
 	res, err := RunCampaign(sys, CampaignConfig{
 		Instructions: 100000,
+		CycleBudget:  DefaultCycleBudget(100000),
 		EnableTiming: true,
 		TimingNode:   tech.Node65,
 		CritPathPs:   495, // nearly the full 500 ps period
@@ -175,6 +313,7 @@ func TestDeterministicCampaign(t *testing.T) {
 		sys := newSystem(t, "twolf", 6, 0)
 		res, err := RunCampaign(sys, CampaignConfig{
 			Instructions:         60000,
+			CycleBudget:          DefaultCycleBudget(60000),
 			LeadSoftPerMCycle:    80,
 			CheckerSoftPerMCycle: 80,
 			Seed:                 23,

@@ -18,6 +18,7 @@ package r3d
 import (
 	"fmt"
 
+	"r3d/internal/campaign"
 	"r3d/internal/core"
 	"r3d/internal/fault"
 	"r3d/internal/nuca"
@@ -122,35 +123,50 @@ type InjectionResult struct {
 	RFInjected     uint64
 	MultiBitUpsets uint64
 	Coverage       float64
+	// Status reports how the supervised trial ended: "ok", or "hung"
+	// when the forward-progress watchdog stopped a wedged system (the
+	// statistics are then the partial window up to the wedge).
+	Status string
+	// WatchdogReason qualifies a hung run (e.g. "no-progress").
+	WatchdogReason string
 }
 
 // RunInjection runs a soft-error injection campaign on the reliable
 // processor: leading-core datapath upsets and trailer register-file
 // upsets arrive at the given (accelerated) rates per million cycles,
 // with the multi-bit-upset fraction of the given technology node.
+//
+// The run executes under the internal/campaign supervisor: a wedged
+// system is stopped by the forward-progress watchdog and reported with
+// Status "hung" instead of spinning forever, and a panicking trial
+// surfaces as an error instead of killing the process. Grid campaigns
+// over many seeds and rates belong to cmd/r3dfault.
 func RunInjection(name string, n uint64, nodeNm int, leadPerM, checkerPerM float64, seed int64) (InjectionResult, error) {
 	sys, err := newSystem(name, L2Org2DA, 2.0, seed)
 	if err != nil {
 		return InjectionResult{}, err
 	}
-	res, err := fault.RunCampaign(sys, fault.CampaignConfig{
+	out := campaign.RunSupervised(sys, fault.CampaignConfig{
 		Instructions:         n,
+		CycleBudget:          fault.DefaultCycleBudget(n),
 		LeadSoftPerMCycle:    leadPerM,
 		CheckerSoftPerMCycle: checkerPerM,
 		TimingNode:           tech.Node(nodeNm),
 		Seed:                 seed,
-	})
-	if err != nil {
-		return InjectionResult{}, err
+	}, campaign.Watchdog{})
+	if out.Status == campaign.StatusCrashed {
+		return InjectionResult{}, fmt.Errorf("r3d: injection campaign crashed: %s", out.Reason)
 	}
-	out := InjectionResult{
+	res := out.Result
+	return InjectionResult{
 		ReliableResult: reliableResult(name, sys, sys.Stats()),
 		LeadInjected:   res.LeadInjected,
 		RFInjected:     res.RFInjected,
 		MultiBitUpsets: res.MBUs,
 		Coverage:       res.Coverage(),
-	}
-	return out, nil
+		Status:         string(out.Status),
+		WatchdogReason: out.Reason,
+	}, nil
 }
 
 // TechScaling returns the Table 8 dynamic and leakage power factors for
