@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race fmt campaign-smoke
+.PHONY: all build test lint race race-engine fmt campaign-smoke bench-fast
 
 all: build lint test
 
@@ -25,9 +25,19 @@ lint:
 	$(GO) run ./cmd/r3dlint ./...
 
 # Race instrumentation slows the thermal suite well past the default
-# 10-minute per-package limit; give the run the time it needs.
+# 10-minute per-package limit; give the run the time it needs. (The
+# full-suite byte-identity test skips itself under -race; the targeted
+# concurrency tests below cover the parallel paths instead.)
 race:
 	$(GO) test -race -timeout 45m ./...
+
+# Quick race pass over just the concurrent machinery: the experiment
+# session's concurrency tests (engine-backed memoization, thermal
+# lock), the run engine and the campaign worker pool. The rest of the
+# experiment suite is serial render code — `make race` covers it.
+race-engine:
+	$(GO) test -race -count=1 -run 'Concurrent|WorkerCount|Race' ./internal/experiment/
+	$(GO) test -race -count=1 ./internal/runsched/ ./internal/campaign/
 
 fmt:
 	gofmt -w .
@@ -45,3 +55,14 @@ campaign-smoke:
 	cmp "$$tmp/fresh.json" "$$tmp/resumed.json" || { echo "campaign-smoke: resume not byte-identical"; exit 1; }; \
 	grep -q '"status": "hung"' "$$tmp/resumed.json" || { echo "campaign-smoke: livelock trial not hung"; exit 1; }; \
 	echo "campaign-smoke: OK"
+
+# Engine smoke: the fast suite rendered serially and across $(nproc)
+# workers must be byte-identical on stdout; the parallel run prints its
+# engine counters (stderr) so cache hits and dedup are visible.
+bench-fast:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/r3dbench" ./cmd/r3dbench && \
+	"$$tmp/r3dbench" -fast -workers 1 > "$$tmp/w1.txt" && \
+	"$$tmp/r3dbench" -fast -workers "$$(nproc)" -stats > "$$tmp/wN.txt" && \
+	cmp "$$tmp/w1.txt" "$$tmp/wN.txt" || { echo "bench-fast: output differs across worker counts"; exit 1; }; \
+	echo "bench-fast: OK (byte-identical at 1 and $$(nproc) workers)"

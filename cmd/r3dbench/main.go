@@ -2,13 +2,21 @@
 // evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md
 // for paper-vs-measured numbers).
 //
+// Experiments come from the experiment registry: r3dbench prefetches
+// the union of the selected experiments' run manifests across -workers
+// goroutines, then renders serially in registry order. Output on stdout
+// is byte-identical for every worker count; the -stats/-json engine
+// report goes to stderr.
+//
 // Usage:
 //
-//	r3dbench            # full windows, all 19 benchmarks (minutes)
-//	r3dbench -fast      # small windows, 6-benchmark subset (seconds)
-//	r3dbench -only fig4 # one experiment (table2..table8, fig4..fig9,
-//	                    # sec32, sec33, sec34, sec35, sec4; extensions
-//	                    # dfs, degraded, rvqsize, dtm, inject)
+//	r3dbench                 # full windows, all 19 benchmarks (minutes)
+//	r3dbench -fast           # small windows, 6-benchmark subset (seconds)
+//	r3dbench -only fig4      # one experiment (see -only with a bad name
+//	                         # for the full list)
+//	r3dbench -workers 8      # prefetch pool width (default GOMAXPROCS)
+//	r3dbench -stats          # human engine report on stderr
+//	r3dbench -json           # JSON engine report on stderr
 package main
 
 import (
@@ -17,6 +25,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
+	"time"
 
 	"r3d/internal/experiment"
 )
@@ -24,57 +34,51 @@ import (
 func main() {
 	fast := flag.Bool("fast", false, "small simulation windows and a benchmark subset")
 	only := flag.String("only", "", "run a single experiment")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "prefetch worker pool width")
+	stats := flag.Bool("stats", false, "print the engine report to stderr")
+	jsonOut := flag.Bool("json", false, "print the engine report as JSON to stderr")
 	flag.Parse()
 
 	q := experiment.Full()
 	if *fast {
 		q = experiment.Fast()
 	}
-	s := experiment.NewSession(q)
 
-	type exp struct {
-		name string
-		run  func() (fmt.Stringer, error)
-	}
-	experiments := []exp{
-		{"table2", func() (fmt.Stringer, error) { return experiment.Table2(s) }},
-		{"table4", func() (fmt.Stringer, error) { return experiment.Table4(), nil }},
-		{"table5", func() (fmt.Stringer, error) { return experiment.Table5() }},
-		{"table6", func() (fmt.Stringer, error) { return experiment.Table6(), nil }},
-		{"table7", func() (fmt.Stringer, error) { return experiment.Table7(), nil }},
-		{"table8", func() (fmt.Stringer, error) { return experiment.Table8() }},
-		{"fig4", func() (fmt.Stringer, error) { return experiment.Figure4(s) }},
-		{"fig5", func() (fmt.Stringer, error) { return experiment.Figure5(s) }},
-		{"fig6", func() (fmt.Stringer, error) { return experiment.Figure6(s) }},
-		{"fig7", func() (fmt.Stringer, error) { return experiment.Figure7(s) }},
-		{"fig8", func() (fmt.Stringer, error) { return experiment.Figure8() }},
-		{"fig9", func() (fmt.Stringer, error) { return experiment.Figure9() }},
-		{"sec32", func() (fmt.Stringer, error) { return experiment.Section32Variants(s) }},
-		{"sec33", func() (fmt.Stringer, error) { return experiment.Section33(s) }},
-		{"sec34", func() (fmt.Stringer, error) { return experiment.Section34() }},
-		{"sec35", func() (fmt.Stringer, error) { return experiment.Section35(s) }},
-		{"sec4", func() (fmt.Stringer, error) { return experiment.Section4(s) }},
-		{"dfs", func() (fmt.Stringer, error) { return experiment.DFSAblation(s) }},
-		{"degraded", func() (fmt.Stringer, error) { return experiment.DegradedMode(s) }},
-		{"rvqsize", func() (fmt.Stringer, error) { return experiment.QueueSizing(s) }},
-		{"dtm", func() (fmt.Stringer, error) { return experiment.DTMStudy(s, 300) }},
-		{"inject", func() (fmt.Stringer, error) { return experiment.InjectionStudy(s, runtime.GOMAXPROCS(0)) }},
-	}
-
-	ran := false
-	for _, e := range experiments {
-		if *only != "" && e.name != *only {
-			continue
+	selected := experiment.Registry()
+	if *only != "" {
+		e, ok := experiment.Find(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid experiments:\n  %s\n",
+				*only, strings.Join(experiment.Names(), " "))
+			os.Exit(2)
 		}
-		ran = true
-		r, err := e.run()
+		selected = []experiment.Experiment{e}
+	}
+
+	// The host clock is injected here: model code never reads it (the
+	// wallclock analyzer forbids time.* under internal/), and timings
+	// only feed the stderr report, never stdout bytes.
+	s := experiment.NewParallelSession(q, *workers, func() int64 { return time.Now().UnixNano() })
+
+	if err := s.Prefetch(experiment.ManifestUnion(q, selected)); err != nil {
+		log.Fatalf("prefetch: %v", err)
+	}
+
+	for _, e := range selected {
+		r, err := e.Run(s, *workers)
 		if err != nil {
-			log.Fatalf("%s: %v", e.name, err)
+			log.Fatalf("%s: %v", e.Name, err)
 		}
 		fmt.Println(r)
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-		os.Exit(2)
+
+	if *jsonOut {
+		b, err := s.EngineReport().JSON()
+		if err != nil {
+			log.Fatalf("engine report: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", b)
+	} else if *stats {
+		fmt.Fprint(os.Stderr, s.EngineReport())
 	}
 }

@@ -8,7 +8,6 @@ import (
 	"r3d/internal/nuca"
 	"r3d/internal/ooo"
 	"r3d/internal/power"
-	"r3d/internal/trace"
 )
 
 // DFSVariant is one throttling-heuristic configuration for the ablation
@@ -90,50 +89,43 @@ func DFSAblation(s *Session) (DFSAblationResult, error) {
 	return res, nil
 }
 
-// rmtVariant runs an RMT window with custom DFS thresholds (cached).
+// DFSAblationManifest declares the ablation's windows: the per-bench
+// baselines plus one variant window per (variant, bench).
+func DFSAblationManifest(q Quality) []RunKey {
+	keys := suiteLeadKeys(q, L2DA, nuca.DistributedSets, 0)
+	for _, v := range DFSVariants() {
+		for _, b := range q.Suite() {
+			keys = append(keys, DFSVariantKey(q, b.Profile.Name, v.Name))
+		}
+	}
+	return keys
+}
+
+// rmtVariant returns the memoized RMT window for a DFS variant.
 func (s *Session) rmtVariant(bench string, v DFSVariant) (RMTRun, error) {
-	key := fmt.Sprintf("%s/dfs-%s", bench, v.Name)
-	if r, ok := s.rmts[key]; ok {
-		return r, nil
+	r, err := s.eng.Get(DFSVariantKey(s.Q, bench, v.Name))
+	return r.rmt, err
+}
+
+// computeDFSVariant is the KindDFSVariant window body: an RMT window
+// with the named variant's thresholds substituted into the DFS
+// controller.
+func (s *Session) computeDFSVariant(k RunKey) (RMTRun, error) {
+	var v DFSVariant
+	found := false
+	for _, cand := range DFSVariants() {
+		if cand.Name == k.DFSVariant {
+			v, found = cand, true
+			break
+		}
 	}
-	b, err := trace.ByName(bench)
-	if err != nil {
-		return RMTRun{}, err
-	}
-	g := trace.MustGenerator(b.Profile, s.Q.Seed)
-	lead, err := ooo.New(ooo.Default(), g, nuca.New(nuca.Config2DA(nuca.DistributedSets)))
-	if err != nil {
-		return RMTRun{}, err
+	if !found {
+		return RMTRun{}, fmt.Errorf("experiment: unknown DFS variant %q", k.DFSVariant)
 	}
 	cfg := core.Default(ooo.Default())
 	cfg.RVQLo, cfg.RVQHi, cfg.DFSIntervalCycles = v.Lo, v.Hi, v.Interval
 	cfg.EmergencyRamp = v.Emergency
-	sys, err := core.New(cfg, lead)
-	if err != nil {
-		return RMTRun{}, err
-	}
-	sys.Run(s.Q.WarmupInsts)
-	sys.ResetStats()
-	lead.SetFetchBudget(^uint64(0))
-	for lead.Stats().Instructions < s.Q.MeasureInsts {
-		sys.Step()
-	}
-	cs := sys.Checker().Stats()
-	util := 0.0
-	if cs.Cycles > 0 {
-		util = float64(cs.Issued) / float64(cs.Cycles) / float64(cfg.Checker.Width)
-	}
-	r := RMTRun{
-		Bench:         bench,
-		Lead:          lead.Stats(),
-		Sys:           sys.Stats(),
-		CheckerIPC:    cs.IPC(),
-		CheckerUtil:   util,
-		MeanFreqGHz:   sys.MeanCheckerFreqGHz(),
-		FreqFractions: sys.FreqResidency().Fractions(),
-	}
-	s.rmts[key] = r
-	return r, nil
+	return s.runRMTWindow(k, cfg)
 }
 
 // String renders the ablation table.

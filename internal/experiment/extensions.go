@@ -33,6 +33,12 @@ type DegradedModeResult struct {
 	MeanSlowdownPct float64
 }
 
+// DegradedModeManifest declares the healthy-baseline windows; the
+// in-order standalone runs are one-shot and not engine-cached.
+func DegradedModeManifest(q Quality) []RunKey {
+	return suiteLeadKeys(q, L2DA, nuca.DistributedSets, 0)
+}
+
 // DegradedMode quantifies footnote 1: after a hard error in the leading
 // core, the full-fledged checker core executes the leading thread by
 // itself — in order, without RVP's perfect operands, with a real branch
@@ -97,6 +103,12 @@ type DTMStudyResult struct {
 // milliseconds at full resolution is needlessly slow for a
 // throttling-policy study).
 const dtmGridRes = 16
+
+// DTMStudyManifest declares the suite-activity windows behind the
+// transient power maps.
+func DTMStudyManifest(q Quality) []RunKey {
+	return activityKeys(q, L2DA)
+}
 
 // DTMStudy runs both chips for the given simulated time under the
 // default DTM policy using suite-average power maps.
@@ -188,6 +200,22 @@ type QueueSizingResult struct {
 	Rows []QueueSizingRow
 }
 
+// rvqSweepSizes are the swept capacities around the paper's 200-entry
+// design point.
+var rvqSweepSizes = []int{25, 50, 100, 200, 400}
+
+// QueueSizingManifest declares the sweep's windows: baselines plus one
+// window per (size, bench).
+func QueueSizingManifest(q Quality) []RunKey {
+	keys := suiteLeadKeys(q, L2DA, nuca.DistributedSets, 0)
+	for _, size := range rvqSweepSizes {
+		for _, b := range q.Suite() {
+			keys = append(keys, RVQSizeKey(q, b.Profile.Name, size))
+		}
+	}
+	return keys
+}
+
 // QueueSizing evaluates the paper's queue-sizing choice (§2.1: "to
 // accommodate a slack of 200 instructions, we implement a 200-entry
 // RVQ"): smaller queues force tighter coupling and stall the leading
@@ -196,7 +224,7 @@ func QueueSizing(s *Session) (QueueSizingResult, error) {
 	var res QueueSizingResult
 	suite := s.Q.Suite()
 	n := float64(len(suite))
-	for _, size := range []int{25, 50, 100, 200, 400} {
+	for _, size := range rvqSweepSizes {
 		row := QueueSizingRow{RVQSize: size}
 		var ipcBase float64
 		for _, b := range suite {
@@ -219,42 +247,20 @@ func QueueSizing(s *Session) (QueueSizingResult, error) {
 	return res, nil
 }
 
+// rmtQueueSize returns the memoized RMT window for an RVQ capacity.
 func (s *Session) rmtQueueSize(bench string, size int) (RMTRun, error) {
-	key := fmt.Sprintf("%s/rvq-%d", bench, size)
-	if r, ok := s.rmts[key]; ok {
-		return r, nil
-	}
-	b, err := trace.ByName(bench)
-	if err != nil {
-		return RMTRun{}, err
-	}
-	g := trace.MustGenerator(b.Profile, s.Q.Seed)
-	lead, err := ooo.New(ooo.Default(), g, nuca.New(nuca.Config2DA(nuca.DistributedSets)))
-	if err != nil {
-		return RMTRun{}, err
-	}
+	r, err := s.eng.Get(RVQSizeKey(s.Q, bench, size))
+	return r.rmt, err
+}
+
+// computeRVQSize is the KindRVQSize window body: an RMT window with the
+// swept queue capacity (thresholds scaled to the same 30%/60% points).
+func (s *Session) computeRVQSize(k RunKey) (RMTRun, error) {
 	cfg := core.Default(ooo.Default())
-	cfg.RVQSize = size
-	cfg.RVQLo = size * 3 / 10
-	cfg.RVQHi = size * 6 / 10
-	sys, err := core.New(cfg, lead)
-	if err != nil {
-		return RMTRun{}, err
-	}
-	sys.Run(s.Q.WarmupInsts)
-	sys.ResetStats()
-	lead.SetFetchBudget(^uint64(0))
-	for lead.Stats().Instructions < s.Q.MeasureInsts {
-		sys.Step()
-	}
-	r := RMTRun{
-		Bench:       bench,
-		Lead:        lead.Stats(),
-		Sys:         sys.Stats(),
-		MeanFreqGHz: sys.MeanCheckerFreqGHz(),
-	}
-	s.rmts[key] = r
-	return r, nil
+	cfg.RVQSize = k.RVQSize
+	cfg.RVQLo = k.RVQSize * 3 / 10
+	cfg.RVQHi = k.RVQSize * 6 / 10
+	return s.runRMTWindow(k, cfg)
 }
 
 // String renders the queue-sizing sweep.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"r3d/internal/nuca"
 	"r3d/internal/power"
 	"r3d/internal/stats"
 	"r3d/internal/tech"
@@ -29,6 +30,12 @@ type Figure4Row struct {
 type Figure4Result struct {
 	Baseline2DA float64
 	Rows        []Figure4Row
+}
+
+// Figure4Manifest declares the suite-activity windows behind the power
+// maps (the thermal sweep itself is solved serially at render time).
+func Figure4Manifest(q Quality) []RunKey {
+	return activityKeys(q, L2DA)
 }
 
 // Figure4 regenerates Figure 4 using suite-average activity.
@@ -85,6 +92,11 @@ type Figure5Row struct {
 // Figure5Result is the per-benchmark thermal dataset.
 type Figure5Result struct {
 	Rows []Figure5Row
+}
+
+// Figure5Manifest declares the per-benchmark activity windows.
+func Figure5Manifest(q Quality) []RunKey {
+	return activityKeys(q, L2DA)
 }
 
 // Figure5 regenerates Figure 5.
@@ -146,6 +158,16 @@ type Figure6Row struct {
 // Figure6Result is the per-benchmark performance dataset.
 type Figure6Result struct {
 	Rows []Figure6Row
+}
+
+// Figure6Manifest declares one leading window per L2 organization plus
+// the RMT windows of the 3d-checker column.
+func Figure6Manifest(q Quality) []RunKey {
+	var keys []RunKey
+	for _, l2c := range []L2Config{L2DA, L2D2A, L3D2A} {
+		keys = append(keys, suiteLeadKeys(q, l2c, nuca.DistributedSets, 0)...)
+	}
+	return append(keys, suiteRMTKeys(q, L2DA, 2.0)...)
 }
 
 // Figure6 regenerates Figure 6 with the distributed-sets NUCA policy.
@@ -213,6 +235,11 @@ type Figure7Result struct {
 	Fractions []float64 // 10 bins of 0.1·f
 	MeanNorm  float64   // mean f_checker / f_lead
 	ModeNorm  float64
+}
+
+// Figure7Manifest declares the homogeneous-stack RMT windows.
+func Figure7Manifest(q Quality) []RunKey {
+	return suiteRMTKeys(q, L2DA, 2.0)
 }
 
 // Figure7 regenerates the §3.5 frequency histogram.

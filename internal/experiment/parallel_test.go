@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"r3d/internal/nuca"
+)
+
+// renderAll prefetches the full registry manifest and renders every
+// experiment, mirroring what r3dbench does.
+func renderAll(tb testing.TB, s *Session, workers int) string {
+	tb.Helper()
+	reg := Registry()
+	if err := s.Prefetch(ManifestUnion(s.Q, reg)); err != nil {
+		tb.Fatalf("prefetch: %v", err)
+	}
+	var b strings.Builder
+	for _, e := range reg {
+		r, err := e.Run(s, workers)
+		if err != nil {
+			tb.Fatalf("%s: %v", e.Name, err)
+		}
+		fmt.Fprintln(&b, r)
+	}
+	return b.String()
+}
+
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  serial:   %q\n  parallel: %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// TestWorkerCountByteIdentity is the engine's hard invariant: the full
+// fast-quality suite renders byte-identically on a -workers 1 session
+// and a second, fresh -workers 8 session. (A warm re-render on one
+// session is NOT byte-stable — thermal solvers intentionally warm-start
+// from the previous converged field — so only fresh sessions compare.)
+func TestWorkerCountByteIdentity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full fast render is too slow under the race detector; TestConcurrentSessionRace covers concurrency")
+	}
+	if testing.Short() {
+		t.Skip("full fast render in -short mode")
+	}
+	q := Fast()
+	s1 := NewParallelSession(q, 1, nil)
+	serial := renderAll(t, s1, 1)
+	s8 := NewParallelSession(q, 8, nil)
+	par := renderAll(t, s8, 8)
+	if serial != par {
+		t.Fatalf("workers=1 and workers=8 output differ; first %s", firstDiffLine(serial, par))
+	}
+	// The schedule must also be identical work — same windows computed,
+	// memoized and deduplicated — regardless of pool width. (Timings are
+	// zero here: no clock is injected.)
+	st1, st8 := s1.EngineStats(), s8.EngineStats()
+	if st1 != st8 {
+		t.Errorf("engine stats differ across worker counts: %+v vs %+v", st1, st8)
+	}
+	if st8.Errors != 0 || st8.Computed == 0 || st8.Hits == 0 {
+		t.Errorf("implausible engine stats: %+v", st8)
+	}
+}
+
+// TestConcurrentSessionRace hammers one session from many goroutines —
+// overlapping prefetch batches, on-demand windows and thermal solves —
+// with windows small enough to stay cheap under -race. It exists to run
+// under the race detector (make race); without -race it is a fast
+// smoke test of the same paths.
+func TestConcurrentSessionRace(t *testing.T) {
+	q := Fast()
+	q.Benchmarks = []string{"gzip", "mesa"}
+	q.WarmupInsts = 2_000
+	q.MeasureInsts = 4_000
+	q.ThermalTolC = 0.5
+	q.ThermalMaxIters = 200
+	s := NewParallelSession(q, 4, nil)
+
+	keys := suiteLeadKeys(q, L2DA, nuca.DistributedSets, 0)
+	keys = append(keys, suiteLeadKeys(q, L2D2A, nuca.DistributedSets, 0)...)
+	keys = append(keys, suiteRMTKeys(q, L2DA, 2.0)...)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Prefetch(keys); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	for _, b := range q.Suite() {
+		name := b.Profile.Name
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Leading(name, L2DA, nuca.DistributedSets, 0); err != nil {
+				errc <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := s.RMT(name, L2DA, 2.0); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			act, rate, err := s.SuiteActivity(L2DA)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if _, err := s.SolveThermal(ThermalCase{Model: M3DChecker, Act: act, L2Rate: rate, CheckerW: 7}); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	st := s.EngineStats()
+	if want := len(keys); st.Computed != want {
+		t.Errorf("computed %d windows, want exactly %d (singleflight must dedup)", st.Computed, want)
+	}
+	if st.Hits+st.Joins == 0 {
+		t.Error("concurrent requests produced no hits or joins")
+	}
+}

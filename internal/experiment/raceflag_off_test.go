@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiment
+
+// raceEnabled reports whether the race detector is compiled in; the
+// full-suite byte-identity test skips under it (the render is ~10× too
+// slow) in favor of the always-on concurrency tests.
+const raceEnabled = false

@@ -32,6 +32,21 @@ type Section33Result struct {
 	PerfLoss7WPct, PerfLoss15WPct float64
 }
 
+// Section33Manifest declares the statically known windows: leading runs
+// across the three organizations, the ways-vs-sets comparison, the RMT
+// column and the suite activity. The thermal-constrained IPC windows
+// depend on solved temperatures (the DVFS memory latency is derived
+// mid-experiment), so they are computed on demand through the same
+// memoized engine.
+func Section33Manifest(q Quality) []RunKey {
+	var keys []RunKey
+	for _, l2c := range []L2Config{L2DA, L2D2A, L3D2A} {
+		keys = append(keys, suiteLeadKeys(q, l2c, nuca.DistributedSets, 0)...)
+	}
+	keys = append(keys, suiteLeadKeys(q, L2D2A, nuca.DistributedWays, 0)...)
+	return append(keys, suiteRMTKeys(q, L2DA, 2.0)...)
+}
+
 // Section33 regenerates §3.3.
 func Section33(s *Session) (Section33Result, error) {
 	var res Section33Result
@@ -238,6 +253,11 @@ type Section32Result struct {
 	T3D2A7, TInactive7 float64
 }
 
+// Section32Manifest declares the suite-activity windows.
+func Section32Manifest(q Quality) []RunKey {
+	return activityKeys(q, L2DA)
+}
+
 // Section32Variants regenerates the §3.2 design variants.
 func Section32Variants(s *Session) (Section32Result, error) {
 	act, rate6, err := s.SuiteActivity(L2DA)
@@ -315,6 +335,11 @@ type Section35Result struct {
 	StageErrPeak, StageErrMode float64
 }
 
+// Section35Manifest declares the Figure 7 RMT windows it aggregates.
+func Section35Manifest(q Quality) []RunKey {
+	return Figure7Manifest(q)
+}
+
 // Section35 regenerates §3.5.
 func Section35(s *Session) (Section35Result, error) {
 	t5, err := Table5()
@@ -372,6 +397,21 @@ type Section4Result struct {
 	// Error-resilience deltas.
 	StageErrProb65, StageErrProb90 float64
 	MBU65, MBU90                   float64
+}
+
+// Section4Manifest declares the capped and uncapped RMT windows, the
+// baselines, and the suite activity. The 90 nm frequency cap is a pure
+// function of the technology model, so it is resolved here; the
+// constant-thermal IPC windows are temperature-derived and computed on
+// demand.
+func Section4Manifest(q Quality) []RunKey {
+	keys := activityKeys(q, L2DA)
+	keys = append(keys, suiteRMTKeys(q, L2DA, 2.0)...)
+	if delay, err := tech.DelayScale(tech.Node90, tech.Node65); err == nil {
+		peak90 := math.Floor(2.0/delay*10) / 10
+		keys = append(keys, suiteRMTKeys(q, L2DA, peak90)...)
+	}
+	return keys
 }
 
 // Section4 regenerates the §4 heterogeneous-die evaluation.

@@ -1,19 +1,24 @@
 // Package experiment regenerates every table and figure of the paper's
-// evaluation. Each experiment is a function from a shared Session (which
-// caches simulation runs so, e.g., Figure 5 and Figure 6 reuse the same
-// per-benchmark windows) to a typed result with a String() renderer that
-// prints rows in the paper's format. See DESIGN.md §4 for the
-// experiment ↔ module index and EXPERIMENTS.md for paper-vs-measured
-// numbers.
+// evaluation. Each experiment is a function from a shared Session to a
+// typed result with a String() renderer that prints rows in the paper's
+// format, plus a manifest that declares the simulation windows it needs
+// up front (see registry.go). The Session memoizes windows behind a
+// deterministic parallel run engine (internal/runsched): duplicate
+// requests join in-flight computations, manifests prefetch in parallel
+// across a bounded worker pool, and output is byte-identical at any
+// worker count. See DESIGN.md §4 for the experiment ↔ module index and
+// EXPERIMENTS.md for paper-vs-measured numbers.
 package experiment
 
 import (
 	"fmt"
+	"sync"
 
 	"r3d/internal/core"
 	"r3d/internal/nuca"
 	"r3d/internal/ooo"
 	"r3d/internal/power"
+	"r3d/internal/runsched"
 	"r3d/internal/thermal"
 	"r3d/internal/trace"
 )
@@ -95,17 +100,87 @@ type RMTRun struct {
 	FreqFractions []float64 // 10 bins of 0.1·f
 }
 
-// Session caches runs across experiments.
-type Session struct {
-	Q       Quality
-	leads   map[string]LeadRun
-	rmts    map[string]RMTRun
-	solvers map[string]*thermal.Solver
+// runValue is the engine's memo slot: one window of either family.
+// Exactly one of the two fields is meaningful, selected by the key's
+// Kind (KindLeading → lead, everything else → rmt).
+type runValue struct {
+	lead LeadRun
+	rmt  RMTRun
 }
 
-// NewSession creates a session.
+// Session caches simulation windows across experiments behind a
+// deterministic run engine. It is safe for concurrent use: windows are
+// memoized with per-key singleflight, and the thermal solver cache is
+// serialized (warm-started solvers are stateful, so thermal results
+// depend on solve order — experiments solve them in render order, which
+// stays serial).
+type Session struct {
+	Q   Quality
+	eng *runsched.Engine[RunKey, runValue]
+
+	// thermalMu guards solvers and serializes whole thermal solves.
+	thermalMu sync.Mutex
+	solvers   map[string]*thermal.Solver
+}
+
+// NewSession creates a serial session (one worker, no run timing) —
+// the byte-identical baseline every parallel configuration is measured
+// against.
 func NewSession(q Quality) *Session {
-	return &Session{Q: q, leads: map[string]LeadRun{}, rmts: map[string]RMTRun{}}
+	return NewParallelSession(q, 1, nil)
+}
+
+// NewParallelSession creates a session whose prefetch batches fan out
+// across a bounded worker pool. clock supplies monotonic nanoseconds
+// for the engine's observability counters; it must be injected by the
+// driver (model code never reads the host clock) and may be nil, which
+// zeroes all timings. Output is byte-identical for any worker count.
+func NewParallelSession(q Quality, workers int, clock func() int64) *Session {
+	s := &Session{
+		Q:       q,
+		solvers: map[string]*thermal.Solver{},
+	}
+	s.eng = runsched.New(s.computeRun, runsched.Options[RunKey]{
+		Workers: workers,
+		Compare: CompareRunKeys,
+		Clock:   clock,
+	})
+	return s
+}
+
+// Prefetch computes the given windows across the session's worker pool,
+// deduplicated and committed in canonical key order. Experiments
+// requested afterwards find their windows memoized; windows a manifest
+// could not declare statically are computed on demand (and still
+// deduplicated through the same singleflight).
+func (s *Session) Prefetch(keys []RunKey) error {
+	return s.eng.Prefetch(keys)
+}
+
+// EngineStats returns the run engine's observability counters.
+func (s *Session) EngineStats() runsched.Stats {
+	return s.eng.Stats()
+}
+
+// computeRun dispatches one engine key to its window family. It must
+// stay a pure function of the key (given the session's quality): the
+// engine memoizes it and runs it from pool workers.
+func (s *Session) computeRun(k RunKey) (runValue, error) {
+	switch k.Kind {
+	case KindLeading:
+		r, err := s.computeLeading(k)
+		return runValue{lead: r}, err
+	case KindRMT:
+		r, err := s.computeRMT(k)
+		return runValue{rmt: r}, err
+	case KindDFSVariant:
+		r, err := s.computeDFSVariant(k)
+		return runValue{rmt: r}, err
+	case KindRVQSize:
+		r, err := s.computeRVQSize(k)
+		return runValue{rmt: r}, err
+	}
+	return runValue{}, fmt.Errorf("experiment: unknown run kind %d", k.Kind)
 }
 
 // L2Config names the paper's cache organizations for lookups.
@@ -140,24 +215,26 @@ func (c L2Config) String() string {
 	}
 }
 
-// Leading runs (or returns the cached) standalone leading-core window.
-// memLatency overrides the 300-cycle memory latency when positive (the
-// §3.3 frequency-scaling study).
+// Leading runs (or returns the memoized) standalone leading-core
+// window. memLatency overrides the 300-cycle memory latency when
+// positive (the §3.3 frequency-scaling study).
 func (s *Session) Leading(bench string, l2c L2Config, policy nuca.Policy, memLatency int) (LeadRun, error) {
-	key := fmt.Sprintf("%s/%v/%v/%d", bench, l2c, policy, memLatency)
-	if r, ok := s.leads[key]; ok {
-		return r, nil
-	}
-	b, err := trace.ByName(bench)
+	v, err := s.eng.Get(LeadingKey(s.Q, bench, l2c, policy, memLatency))
+	return v.lead, err
+}
+
+// computeLeading is the KindLeading window body.
+func (s *Session) computeLeading(k RunKey) (LeadRun, error) {
+	b, err := trace.ByName(k.Bench)
 	if err != nil {
 		return LeadRun{}, err
 	}
 	cfg := ooo.Default()
-	if memLatency > 0 {
-		cfg.MemLatencyCycles = memLatency
+	if k.MemLatency > 0 {
+		cfg.MemLatencyCycles = k.MemLatency
 	}
-	g := trace.MustGenerator(b.Profile, s.Q.Seed)
-	l2 := nuca.New(l2c.nucaConfig(policy))
+	g := trace.MustGenerator(b.Profile, k.Seed)
+	l2 := nuca.New(k.L2.nucaConfig(k.Policy))
 	c, err := ooo.New(cfg, g, l2)
 	if err != nil {
 		return LeadRun{}, err
@@ -168,36 +245,42 @@ func (s *Session) Leading(bench string, l2c L2Config, policy nuca.Policy, memLat
 	for c.Stats().Instructions < s.Q.MeasureInsts {
 		c.Step(cfg.CommitWidth)
 	}
-	r := LeadRun{
-		Bench:   bench,
+	return LeadRun{
+		Bench:   k.Bench,
 		Stats:   c.Stats(),
 		L2Stats: l2.Stats(),
 		Pred:    c.PredictorStats().MispredictRate(),
-	}
-	s.leads[key] = r
-	return r, nil
+	}, nil
 }
 
-// RMT runs (or returns the cached) coupled leading+checker window.
+// RMT runs (or returns the memoized) coupled leading+checker window.
 // maxCheckerGHz caps the checker's DFS range (2.0 homogeneous, 1.4 for
 // the §4 90 nm die).
 func (s *Session) RMT(bench string, l2c L2Config, maxCheckerGHz float64) (RMTRun, error) {
-	key := fmt.Sprintf("%s/%v/%.2f", bench, l2c, maxCheckerGHz)
-	if r, ok := s.rmts[key]; ok {
-		return r, nil
-	}
-	b, err := trace.ByName(bench)
+	v, err := s.eng.Get(RMTKey(s.Q, bench, l2c, maxCheckerGHz))
+	return v.rmt, err
+}
+
+// computeRMT is the KindRMT window body.
+func (s *Session) computeRMT(k RunKey) (RMTRun, error) {
+	cfg := core.Default(ooo.Default())
+	cfg.CheckerMaxFreqGHz = float64(k.CheckerCGHz) / 100
+	return s.runRMTWindow(k, cfg)
+}
+
+// runRMTWindow drives one coupled window with the given system config —
+// the shared body of the RMT, DFS-variant and RVQ-sizing kinds.
+func (s *Session) runRMTWindow(k RunKey, cfg core.Config) (RMTRun, error) {
+	b, err := trace.ByName(k.Bench)
 	if err != nil {
 		return RMTRun{}, err
 	}
-	g := trace.MustGenerator(b.Profile, s.Q.Seed)
-	l2 := nuca.New(l2c.nucaConfig(nuca.DistributedSets))
+	g := trace.MustGenerator(b.Profile, k.Seed)
+	l2 := nuca.New(k.L2.nucaConfig(nuca.DistributedSets))
 	lead, err := ooo.New(ooo.Default(), g, l2)
 	if err != nil {
 		return RMTRun{}, err
 	}
-	cfg := core.Default(ooo.Default())
-	cfg.CheckerMaxFreqGHz = maxCheckerGHz
 	sys, err := core.New(cfg, lead)
 	if err != nil {
 		return RMTRun{}, err
@@ -213,17 +296,15 @@ func (s *Session) RMT(bench string, l2c L2Config, maxCheckerGHz float64) (RMTRun
 	if cs.Cycles > 0 {
 		util = float64(cs.Issued) / float64(cs.Cycles) / float64(cfg.Checker.Width)
 	}
-	r := RMTRun{
-		Bench:         bench,
+	return RMTRun{
+		Bench:         k.Bench,
 		Lead:          lead.Stats(),
 		Sys:           sys.Stats(),
 		CheckerIPC:    cs.IPC(),
 		CheckerUtil:   util,
 		MeanFreqGHz:   sys.MeanCheckerFreqGHz(),
 		FreqFractions: sys.FreqResidency().Fractions(),
-	}
-	s.rmts[key] = r
-	return r, nil
+	}, nil
 }
 
 // SuiteActivity returns the per-unit activity factors and the mean L2

@@ -27,6 +27,12 @@ type Table2Result struct {
 	RouterPowerW          float64
 }
 
+// Table2Manifest declares the suite-activity windows behind the
+// measured leading-core power.
+func Table2Manifest(q Quality) []RunKey {
+	return activityKeys(q, L2DA)
+}
+
 // Table2 regenerates Table 2.
 func Table2(s *Session) (Table2Result, error) {
 	act, _, err := s.SuiteActivity(L2DA)

@@ -97,7 +97,15 @@ func (s *Session) SolveThermal(c ThermalCase) (ThermalResult, error) {
 
 // SolveThermalDetailed is SolveThermal but also returns the solver with
 // its converged field (for heatmaps and further probing).
+//
+// The whole solve holds the session's thermal lock: warm-started
+// solvers are stateful, so concurrent solves on one geometry would race
+// and solve order changes the byte-exact result. Experiments therefore
+// solve thermal cases in render order (serial); only the simulation
+// windows behind them are parallelized.
 func (s *Session) SolveThermalDetailed(c ThermalCase) (*thermal.Solver, ThermalResult, error) {
+	s.thermalMu.Lock()
+	defer s.thermalMu.Unlock()
 	c = c.norm()
 	fp := buildPlan(c.Model, c.Opt)
 	if err := fp.Validate(); err != nil {
@@ -159,11 +167,11 @@ func (s *Session) SolveThermalDetailed(c ThermalCase) (*thermal.Solver, ThermalR
 	return solver, res, nil
 }
 
-// solverFor returns a cached solver for the floorplan's geometry.
+// solverFor returns a cached solver for the floorplan's geometry. The
+// map is initialized in NewParallelSession (never lazily — a lazy init
+// here raced once Session went concurrent) and the caller must hold
+// s.thermalMu.
 func (s *Session) solverFor(fp *floorplan.Floorplan) *thermal.Solver {
-	if s.solvers == nil {
-		s.solvers = map[string]*thermal.Solver{}
-	}
 	key := fmt.Sprintf("%s/%d/%.2fx%.2f", fp.Name, fp.Layers, fp.DieW, fp.DieH)
 	if sv, ok := s.solvers[key]; ok {
 		return sv

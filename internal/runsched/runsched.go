@@ -1,0 +1,308 @@
+// Package runsched is a deterministic, concurrency-safe run engine:
+// a memo cache over a pure compute function, with per-key singleflight
+// (duplicate requests join the in-flight computation instead of
+// recomputing) and batch execution across a bounded worker pool.
+//
+// It exists so the experiment layer can regenerate the paper's whole
+// evaluation in parallel without giving up a byte of reproducibility.
+// The contract that makes that possible:
+//
+//   - compute must be a pure function of the key: same key, same value,
+//     on every run, at any worker count (the simulator's per-seed
+//     determinism, protected by the r3dlint suite, provides this);
+//   - results and errors are memoized forever — a key is computed at
+//     most once per engine, no matter how many callers race on it;
+//   - batch results are committed in canonical key order, never in
+//     completion order, mirroring internal/campaign's ID-ordered
+//     aggregation, so everything observable from the engine is
+//     independent of scheduling;
+//   - the engine itself never reads the wall clock (model code must
+//     not); drivers inject a clock for the observability counters, and
+//     with no clock injected all timings are zero.
+//
+// compute must not call back into its own engine: a recursive Get from
+// inside compute can join the very call that issued it and deadlock.
+package runsched
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// Stats are the engine's observability counters. All fields are sums or
+// counts, so they are identical for any worker count; only the injected
+// clock's readings vary between hosts.
+type Stats struct {
+	// Computed counts keys evaluated by the compute function.
+	Computed int `json:"computed"`
+	// Hits counts requests served from the memo cache.
+	Hits int `json:"cache_hits"`
+	// Joins counts requests that joined an in-flight computation
+	// instead of starting their own (the singleflight saves).
+	Joins int `json:"singleflight_joins"`
+	// Errors counts computed keys whose compute returned an error
+	// (errors are memoized like values).
+	Errors int `json:"errors"`
+	// BatchRequested / BatchDeduped count keys handed to Prefetch and
+	// the duplicates it removed before dispatch.
+	BatchRequested int `json:"batch_requested"`
+	BatchDeduped   int `json:"batch_deduped"`
+	// ComputeNanos is the summed wall-clock time inside compute, as
+	// measured by the injected clock (0 without one). With parallel
+	// workers it exceeds elapsed time — it is total work, not latency.
+	ComputeNanos int64 `json:"compute_nanos"`
+}
+
+// Record is the per-run observability entry for one computed key.
+type Record[K comparable] struct {
+	Key   K
+	Nanos int64 // compute wall time by the injected clock (0 without one)
+	Err   bool  // compute returned an error
+}
+
+// Options configures an Engine.
+type Options[K comparable] struct {
+	// Workers bounds the batch worker pool (≤0 selects 1). Get always
+	// computes on the calling goroutine.
+	Workers int
+	// Compare orders keys canonically; it is required and must be a
+	// total order. Batches are dispatched and committed in this order,
+	// and Records reports in it.
+	Compare func(a, b K) int
+	// Clock returns a monotonic nanosecond reading for the timing
+	// counters. nil disables timing (all durations zero): the engine is
+	// model code and must not read the host clock itself.
+	Clock func() int64
+}
+
+// result is a committed memo entry.
+type result[V any] struct {
+	val V
+	err error
+}
+
+// call is one in-flight computation; joiners wait on done.
+type call[V any] struct {
+	done  chan struct{}
+	val   V
+	err   error
+	nanos int64
+}
+
+// Engine memoizes a pure compute function with singleflight and batch
+// scheduling. The zero value is not usable; construct with New.
+type Engine[K comparable, V any] struct {
+	compute func(K) (V, error)
+	opts    Options[K]
+
+	mu       sync.Mutex
+	results  map[K]result[V]
+	inflight map[K]*call[V]
+	stats    Stats
+	records  []Record[K]
+}
+
+// New creates an engine over the given pure compute function.
+// Options.Compare must be non-nil.
+func New[K comparable, V any](compute func(K) (V, error), opts Options[K]) *Engine[K, V] {
+	if compute == nil {
+		panic("runsched: nil compute function")
+	}
+	if opts.Compare == nil {
+		panic("runsched: Options.Compare is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	return &Engine[K, V]{
+		compute:  compute,
+		opts:     opts,
+		results:  map[K]result[V]{},
+		inflight: map[K]*call[V]{},
+	}
+}
+
+// Workers returns the configured batch pool width.
+func (e *Engine[K, V]) Workers() int { return e.opts.Workers }
+
+// now reads the injected clock (0 without one).
+func (e *Engine[K, V]) now() int64 {
+	if e.opts.Clock == nil {
+		return 0
+	}
+	return e.opts.Clock()
+}
+
+// Get returns the memoized value for k, computing it on the calling
+// goroutine if no other caller already is. Concurrent Gets of the same
+// key perform exactly one computation; the rest join it.
+func (e *Engine[K, V]) Get(k K) (V, error) {
+	e.mu.Lock()
+	if r, ok := e.results[k]; ok {
+		e.stats.Hits++
+		e.mu.Unlock()
+		return r.val, r.err
+	}
+	if c, ok := e.inflight[k]; ok {
+		e.stats.Joins++
+		e.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call[V]{done: make(chan struct{})}
+	e.inflight[k] = c
+	e.mu.Unlock()
+
+	e.run(k, c)
+
+	e.mu.Lock()
+	e.commit(k, c)
+	e.mu.Unlock()
+	return c.val, c.err
+}
+
+// run evaluates compute for k into c and releases joiners. The memo
+// commit happens separately so batches can commit in key order.
+func (e *Engine[K, V]) run(k K, c *call[V]) {
+	start := e.now()
+	c.val, c.err = e.compute(k)
+	c.nanos = e.now() - start
+	close(c.done)
+}
+
+// commit moves a finished call into the memo under e.mu. Joiners that
+// arrive between close(done) and commit still find the inflight entry
+// and return immediately from the closed channel.
+func (e *Engine[K, V]) commit(k K, c *call[V]) {
+	delete(e.inflight, k)
+	e.results[k] = result[V]{val: c.val, err: c.err}
+	e.stats.Computed++
+	e.stats.ComputeNanos += c.nanos
+	if c.err != nil {
+		e.stats.Errors++
+	}
+	e.records = append(e.records, Record[K]{Key: k, Nanos: c.nanos, Err: c.err != nil})
+}
+
+// Prefetch computes every key in keys across the worker pool. Keys are
+// deduplicated and sorted canonically before dispatch, and results are
+// committed in that same order regardless of completion order, so the
+// engine's observable state after a batch is independent of scheduling.
+// Keys already computed count as hits; keys being computed by another
+// caller are joined. It returns the first error in canonical key order
+// (the same error a later Get of that key will return).
+func (e *Engine[K, V]) Prefetch(keys []K) error {
+	e.mu.Lock()
+	e.stats.BatchRequested += len(keys)
+	uniq := make([]K, len(keys))
+	copy(uniq, keys)
+	slices.SortFunc(uniq, e.opts.Compare)
+	uniq = slices.CompactFunc(uniq, func(a, b K) bool { return e.opts.Compare(a, b) == 0 })
+	e.stats.BatchDeduped += len(keys) - len(uniq)
+
+	// Partition: already-memoized keys are hits; keys some other caller
+	// is computing are joined after the pool drains; the rest are ours.
+	var joins []*call[V]
+	var work []K
+	calls := make(map[K]*call[V], len(uniq))
+	errs := make(map[K]error, len(uniq))
+	for _, k := range uniq {
+		if r, ok := e.results[k]; ok {
+			e.stats.Hits++
+			errs[k] = r.err
+			continue
+		}
+		if c, ok := e.inflight[k]; ok {
+			e.stats.Joins++
+			joins = append(joins, c)
+			calls[k] = c
+			continue
+		}
+		c := &call[V]{done: make(chan struct{})}
+		e.inflight[k] = c
+		calls[k] = c
+		work = append(work, k)
+	}
+	e.mu.Unlock()
+
+	// Bounded fan-out; dispatch in canonical order. Completion order is
+	// scheduling-dependent, which is why the commit below re-walks work
+	// in its canonical order instead.
+	jobs := make(chan K)
+	var wg sync.WaitGroup
+	workers := min(e.opts.Workers, len(work))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobs {
+				e.run(k, calls[k])
+			}
+		}()
+	}
+	for _, k := range work {
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+
+	e.mu.Lock()
+	for _, k := range work {
+		e.commit(k, calls[k])
+	}
+	e.mu.Unlock()
+
+	for _, c := range joins {
+		<-c.done
+	}
+
+	// First error in canonical key order, from whichever path produced
+	// the key's result (memo hit, joined call, or our own pool).
+	for _, k := range uniq {
+		err := errs[k]
+		if c, ok := calls[k]; ok {
+			err = c.err
+		}
+		if err != nil {
+			return fmt.Errorf("runsched: %w", err)
+		}
+	}
+	return nil
+}
+
+// Cached returns the memoized value for k without computing anything.
+// The bool reports whether k has been committed.
+func (e *Engine[K, V]) Cached(k K) (V, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.results[k]
+	return r.val, r.err
+}
+
+// Has reports whether k has been committed.
+func (e *Engine[K, V]) Has(k K) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.results[k]
+	return ok
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine[K, V]) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Records returns the per-run entries in canonical key order. The set
+// of records — and, with a deterministic clock, their contents — is
+// identical for any worker count.
+func (e *Engine[K, V]) Records() []Record[K] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Record[K], len(e.records))
+	copy(out, e.records)
+	slices.SortFunc(out, func(a, b Record[K]) int { return e.opts.Compare(a.Key, b.Key) })
+	return out
+}
