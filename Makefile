@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race race-engine fmt campaign-smoke bench-fast
+.PHONY: all build test lint lint-strict lint-json race race-engine fmt campaign-smoke bench-fast
 
 all: build lint test
 
@@ -23,6 +23,20 @@ lint:
 	fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/r3dlint ./...
+
+# Zero-tolerance gate for CI: every unsuppressed finding across the
+# module fails the build (exit 1; exit 2 is a usage/load error). The
+# plain `lint` target above is the same run plus gofmt/vet.
+lint-strict:
+	$(GO) run ./cmd/r3dlint ./...
+
+# Machine-readable findings on stdout — the byte-stable JSON array that
+# `-baseline` consumes. Exit code matches lint-strict, so CI can both
+# gate and archive the report in one step:
+#   make -s lint-json > findings.json || true
+#   go run ./cmd/r3dlint -baseline findings.json ./...
+lint-json:
+	$(GO) run ./cmd/r3dlint -json ./...
 
 # Race instrumentation slows the thermal suite well past the default
 # 10-minute per-package limit; give the run the time it needs. (The

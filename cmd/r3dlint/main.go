@@ -1,14 +1,19 @@
 // Command r3dlint runs the r3d determinism/hygiene static-analysis
 // suite (internal/lint) over every non-test package of the module and
-// reports findings with file:line:column positions. It exits 1 if any
-// unsuppressed finding remains, 2 on load/typecheck errors.
+// reports findings with file:line:column positions. It exits 0 when the
+// module is clean, 1 if any unsuppressed finding remains, and 2 on
+// usage or load/typecheck errors.
 //
 // Usage:
 //
-//	r3dlint [-list] [dir]
+//	r3dlint [-list] [-json] [-baseline file] [dir]
 //
 // dir defaults to the current directory; a trailing /... is accepted
-// (and ignored — the whole module is always analyzed). Findings are
+// (and ignored — the whole module is always analyzed). -json emits the
+// findings as a byte-stable JSON array (the same format -baseline
+// consumes); -baseline suppresses the findings recorded in the given
+// file and fails only on regressions, reporting baseline entries that
+// no longer match anything as stale (non-fatal). Findings are
 // suppressed in source with a reasoned directive:
 //
 //	//lint:ignore <check> <reason>
@@ -17,33 +22,53 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"r3d/internal/lint"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the registered analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r3dlint [-list] [dir]\n\nAnalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// printf writes CLI output. The writers are the process's standard
+// streams (injected for tests); a failed write there leaves nothing to
+// recover, so the error is vacuous and explicitly discarded.
+func printf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// run is the testable body of main: it parses args, runs the suite and
+// returns the process exit code (0 clean, 1 findings, 2 usage/load
+// error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("r3dlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array (byte-stable)")
+	baseline := fs.String("baseline", "", "suppress findings recorded in this JSON `file`; fail only on regressions")
+	fs.Usage = func() {
+		printf(stderr, "usage: r3dlint [-list] [-json] [-baseline file] [dir]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			printf(stderr, "  %-13s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			printf(stdout, "%-13s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	dir := "."
-	if flag.NArg() > 0 {
-		dir = flag.Arg(0)
+	if fs.NArg() > 0 {
+		dir = fs.Arg(0)
 	}
 	// Accept go-style package patterns: ./... means "the module".
 	dir = strings.TrimSuffix(dir, "...")
@@ -54,23 +79,38 @@ func main() {
 
 	m, findings, err := lint.RunModule(dir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "r3dlint: %v\n", err)
-		os.Exit(2)
+		printf(stderr, "r3dlint: %v\n", err)
+		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(relativize(m.Dir, f).String())
+
+	if *baseline != "" {
+		b, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			printf(stderr, "r3dlint: %v\n", err)
+			return 2
+		}
+		regressions, stale := b.Apply(m.Dir, findings)
+		for _, s := range stale {
+			printf(stderr, "r3dlint: stale baseline entry: %s\n", s)
+		}
+		findings = regressions
+	}
+
+	if *asJSON {
+		data, err := lint.MarshalJSON(m.Dir, findings)
+		if err != nil {
+			printf(stderr, "r3dlint: %v\n", err)
+			return 2
+		}
+		_, _ = stdout.Write(data)
+	} else {
+		for _, f := range findings {
+			printf(stdout, "%s\n", lint.Relativize(m.Dir, f))
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "r3dlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		printf(stderr, "r3dlint: %d finding(s)\n", len(findings))
+		return 1
 	}
-}
-
-// relativize rewrites a finding's filename relative to the module root
-// for stable, readable output.
-func relativize(root string, f lint.Finding) lint.Finding {
-	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		f.Pos.Filename = rel
-	}
-	return f
+	return 0
 }

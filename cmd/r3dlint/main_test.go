@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = "testdata/src"
+
+// runCLI invokes the command body and returns its exit code and output
+// streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestFixtureTextOutput(t *testing.T) {
+	code, out, stderr := runCLI(t, fixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if want := golden(t, "golden.txt"); out != want {
+		t.Errorf("text output mismatch\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+	if !strings.Contains(stderr, "8 finding(s)") {
+		t.Errorf("stderr %q does not report the finding count", stderr)
+	}
+}
+
+func TestFixtureJSONOutputIsByteStable(t *testing.T) {
+	code, first, _ := runCLI(t, "-json", fixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if want := golden(t, "golden.json"); first != want {
+		t.Errorf("json output mismatch\n--- got ---\n%s--- want ---\n%s", first, want)
+	}
+	_, second, _ := runCLI(t, "-json", fixture)
+	if first != second {
+		t.Error("-json output differs between identical runs")
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(first), &parsed); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if len(parsed) != 8 {
+		t.Errorf("parsed %d findings, want 8", len(parsed))
+	}
+}
+
+func TestBaselineSuppressesKnownFindings(t *testing.T) {
+	_, js, _ := runCLI(t, "-json", fixture)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCLI(t, "-baseline", base, fixture)
+	if code != 0 {
+		t.Fatalf("exit %d with full baseline, want 0; stdout:\n%s", code, out)
+	}
+	if out != "" {
+		t.Errorf("unexpected output with full baseline:\n%s", out)
+	}
+	if strings.Contains(stderr, "stale") {
+		t.Errorf("unexpected stale entries: %s", stderr)
+	}
+}
+
+func TestBaselineFailsOnRegression(t *testing.T) {
+	_, js, _ := runCLI(t, "-json", fixture)
+	var entries []map[string]any
+	if err := json.Unmarshal([]byte(js), &entries); err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := json.Marshal(entries[1:]) // drop the first entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, trimmed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCLI(t, "-baseline", base, fixture)
+	if code != 1 {
+		t.Fatalf("exit %d with truncated baseline, want 1", code)
+	}
+	if got := strings.Count(strings.TrimSpace(out), "\n") + 1; got != 1 {
+		t.Errorf("%d regression lines, want exactly the dropped finding:\n%s", got, out)
+	}
+}
+
+func TestBaselineReportsStaleEntries(t *testing.T) {
+	_, js, _ := runCLI(t, "-json", fixture)
+	var entries []map[string]any
+	if err := json.Unmarshal([]byte(js), &entries); err != nil {
+		t.Fatal(err)
+	}
+	entries = append(entries, map[string]any{
+		"file": "internal/model/gone.go", "line": 1, "col": 1,
+		"check": "maporder", "message": "a finding that no longer exists",
+	})
+	padded, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, padded, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-baseline", base, fixture)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stale entries are non-fatal)", code)
+	}
+	if !strings.Contains(stderr, "stale baseline entry") || !strings.Contains(stderr, "gone.go") {
+		t.Errorf("stderr does not note the stale entry: %s", stderr)
+	}
+}
+
+func TestUsageAndLoadErrorsExit2(t *testing.T) {
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-baseline", "testdata/does-not-exist.json", fixture); code != 2 {
+		t.Errorf("missing baseline file: exit %d, want 2", code)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, name := range []string{"maporder", "globalrand", "wallclock", "floatcmp", "errdrop", "gocapture", "dettaint", "units"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %s", name)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package clockwrap launders the wall clock through two layers of
+// helper functions. It is driver-side code (not under internal/), so
+// the per-package wallclock check does not apply here; the point of the
+// fixture is that the interprocedural dettaint analyzer still catches
+// model code calling Stamp.
+package clockwrap
+
+import "time"
+
+func clock() time.Time { return time.Now() }
+
+// Stamp returns the current wall-clock time.
+func Stamp() time.Time { return clock() }

@@ -1,0 +1,55 @@
+// Package model is deliberately unhygienic: every construct below is a
+// fixture finding for the r3dlint CLI golden test.
+package model
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"fixturemod/clockwrap"
+)
+
+// Celsius and Kelvin anchor the fixture units manifest.
+type Celsius float64
+
+// Kelvin is an absolute temperature.
+type Kelvin float64
+
+// Report prints per-node scores in map-iteration order.
+func Report(scores map[string]float64) {
+	for name, s := range scores {
+		fmt.Println(name, s)
+	}
+}
+
+// Jitter draws from the process-global generator.
+func Jitter() float64 { return rand.Float64() }
+
+// Converged compares floats exactly.
+func Converged(a, b float64) bool { return a == b }
+
+// Tick reads the wall clock directly.
+func Tick() time.Time { return time.Now() }
+
+// Stamp reaches the wall clock through the clockwrap laundering
+// helpers.
+func Stamp() int64 { return clockwrap.Stamp().UnixNano() }
+
+// Mix confuses the two temperature scales.
+func Mix(c Celsius) Kelvin { return Kelvin(c) }
+
+// Flush ignores the close error.
+func Flush(w io.Closer) { w.Close() }
+
+// Count increments a captured counter from goroutines.
+func Count(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		go func() {
+			total++
+		}()
+	}
+	return total
+}

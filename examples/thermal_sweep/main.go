@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"r3d/internal/experiment"
+	"r3d/internal/thermal"
 )
 
 func main() {
@@ -27,7 +28,7 @@ func main() {
 	fmt.Printf("%-10s %-8s %-8s %s\n", "checker W", "2d-2a", "3d-2a", "")
 	lo := fig4.Baseline2DA - 10
 	for _, row := range fig4.Rows {
-		bar := func(t float64) string {
+		bar := func(t thermal.Celsius) string {
 			n := int((t - lo) / 2)
 			if n < 0 {
 				n = 0

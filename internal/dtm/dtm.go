@@ -27,7 +27,7 @@ import (
 type Policy struct {
 	// TriggerC engages the throttle; ReleaseC (must be lower) disengages
 	// it — the hysteresis band prevents oscillation.
-	TriggerC, ReleaseC float64
+	TriggerC, ReleaseC thermal.Celsius
 	// StepGHz is the frequency adjustment per control interval.
 	StepGHz float64
 	// MinGHz/MaxGHz bound the DVFS range.
@@ -69,9 +69,9 @@ type Phase struct {
 type Stats struct {
 	TimeMs        float64
 	ThrottledMs   float64
-	MeanFreqGHz   float64 // time-weighted
-	PeakC         float64 // hottest sample ever seen
-	FinalC        float64
+	MeanFreqGHz   float64         // time-weighted
+	PeakC         thermal.Celsius // hottest sample ever seen
+	FinalC        thermal.Celsius
 	Residency     *stats.Histogram // frequency residency, GHz
 	Interventions uint64           // throttle engagements
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"r3d/internal/thermal"
 )
 
 var (
@@ -97,7 +99,7 @@ func TestFigure4Shape(t *testing.T) {
 	if r.Baseline2DA < 60 || r.Baseline2DA > 95 {
 		t.Errorf("2d-a baseline %.1f °C outside the paper's window", r.Baseline2DA)
 	}
-	prev := 0.0
+	var prev thermal.Celsius
 	for i, row := range r.Rows {
 		if row.T3D2A <= r.Baseline2DA {
 			t.Errorf("3d-2a at %gW must be hotter than 2d-a", row.CheckerW)

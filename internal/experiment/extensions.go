@@ -93,8 +93,8 @@ type DTMStudyResult struct {
 	Policy          dtm.Policy
 	Loss2DAPct      float64
 	Loss3DPct       float64
-	Peak2DAC        float64
-	Peak3DC         float64
+	Peak2DAC        thermal.Celsius
+	Peak3DC         thermal.Celsius
 	Interventions3D uint64
 }
 

@@ -8,6 +8,7 @@ import (
 	"r3d/internal/power"
 	"r3d/internal/stats"
 	"r3d/internal/tech"
+	"r3d/internal/thermal"
 )
 
 // CheckerPowerSweep is the Figure 4 x-axis.
@@ -19,16 +20,16 @@ var CheckerPowerSweep = []float64{2, 5, 7, 10, 15, 20, 25}
 // EXPERIMENTS.md on which the paper most plausibly reports).
 type Figure4Row struct {
 	CheckerW  float64
-	T2D2A     float64
-	T3D2A     float64
-	T3D2ADie1 float64
+	T2D2A     thermal.Celsius
+	T3D2A     thermal.Celsius
+	T3D2ADie1 thermal.Celsius
 }
 
 // Figure4Result is the Figure 4 dataset: peak temperature versus checker
 // power for the 2d-2a and 3d-2a organizations against the 2d-a baseline
 // line.
 type Figure4Result struct {
-	Baseline2DA float64
+	Baseline2DA thermal.Celsius
 	Rows        []Figure4Row
 }
 
@@ -82,11 +83,11 @@ func (r Figure4Result) String() string {
 // configurations of the paper's Figure 5.
 type Figure5Row struct {
 	Bench    string
-	T2DA     float64
-	T2D2A7W  float64
-	T3D2A7W  float64
-	T2D2A15W float64
-	T3D2A15W float64
+	T2DA     thermal.Celsius
+	T2D2A7W  thermal.Celsius
+	T3D2A7W  thermal.Celsius
+	T2D2A15W thermal.Celsius
+	T3D2A15W thermal.Celsius
 }
 
 // Figure5Result is the per-benchmark thermal dataset.
@@ -111,7 +112,7 @@ func Figure5(s *Session) (Figure5Result, error) {
 		rate15 := rate6 * 6 / 15
 		row := Figure5Row{Bench: name}
 		cases := []struct {
-			dst   *float64
+			dst   *thermal.Celsius
 			model ChipModel
 			rate  float64
 			w     float64

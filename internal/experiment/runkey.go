@@ -26,6 +26,16 @@ const (
 	KindRVQSize
 )
 
+// CentiGHz is a frequency stored in hundredths of a GHz. RunKeys keep
+// the checker DFS cap in this integer unit so key equality and ordering
+// stay exact (no float rounding in map keys); the units manifest anchors
+// it as a distinct dimension from plain GHz so the two are never mixed
+// without going through the documented ×100 quantization.
+type CentiGHz int
+
+// GHz converts the quantized cap back to GHz for simulator configs.
+func (c CentiGHz) GHz() float64 { return float64(c) / 100 }
+
 func (k RunKind) String() string {
 	switch k {
 	case KindRMT:
@@ -58,7 +68,7 @@ type RunKey struct {
 	MemLatency int
 	// CheckerCGHz is the checker DFS cap in centi-GHz (KindRMT only;
 	// 200 = the 2.0 GHz homogeneous stack).
-	CheckerCGHz int
+	CheckerCGHz CentiGHz
 	// DFSVariant names the DFSVariants() entry (KindDFSVariant only).
 	DFSVariant string
 	// RVQSize is the swept queue capacity (KindRVQSize only).
@@ -110,7 +120,7 @@ func CompareRunKeys(a, b RunKey) int {
 	if c := a.MemLatency - b.MemLatency; c != 0 {
 		return c
 	}
-	if c := a.CheckerCGHz - b.CheckerCGHz; c != 0 {
+	if c := int(a.CheckerCGHz) - int(b.CheckerCGHz); c != 0 {
 		return c
 	}
 	if c := strings.Compare(a.DFSVariant, b.DFSVariant); c != 0 {
@@ -136,7 +146,7 @@ func LeadingKey(q Quality, bench string, l2c L2Config, policy nuca.Policy, memLa
 // RMTKey names a coupled RMT window; the cap is quantized to centi-GHz
 // (every caller passes deci-GHz values, so the quantization is exact).
 func RMTKey(q Quality, bench string, l2c L2Config, maxCheckerGHz float64) RunKey {
-	return RunKey{Kind: KindRMT, Bench: bench, L2: l2c, CheckerCGHz: int(maxCheckerGHz*100 + 0.5), Seed: q.Seed}
+	return RunKey{Kind: KindRMT, Bench: bench, L2: l2c, CheckerCGHz: CentiGHz(maxCheckerGHz*100 + 0.5), Seed: q.Seed}
 }
 
 // DFSVariantKey names a DFS-threshold ablation window.

@@ -119,7 +119,7 @@ func Section33(s *Session) (Section33Result, error) {
 		}
 		fRel := 1.0
 		if t3.PeakC > base.PeakC {
-			fRel = math.Cbrt((base.PeakC - thermal.AmbientC) / (t3.PeakC - thermal.AmbientC))
+			fRel = math.Cbrt(float64((base.PeakC - thermal.AmbientC) / (t3.PeakC - thermal.AmbientC)))
 		}
 		// Quantize to the 100 MHz steps the paper reports.
 		fGHz := math.Floor(fRel*2.0*10+0.5) / 10
@@ -246,11 +246,11 @@ func (r Section34Result) String() string {
 
 // Section32Result collects the thermal what-ifs of §3.2.
 type Section32Result struct {
-	T2DA float64
+	T2DA thermal.Celsius
 	// 15 W checker (pessimistic) cases.
-	T3D2A15, TInactive15, TCorner15, TDouble15 float64
+	T3D2A15, TInactive15, TCorner15, TDouble15 thermal.Celsius
 	// 7 W checker cases for the inactive-silicon comparison.
-	T3D2A7, TInactive7 float64
+	T3D2A7, TInactive7 thermal.Celsius
 }
 
 // Section32Manifest declares the suite-activity windows.
@@ -273,7 +273,7 @@ func Section32Variants(s *Session) (Section32Result, error) {
 	}
 	res.T2DA = base.PeakC
 
-	solve := func(m ChipModel, opt floorplan.Options, w float64) (float64, error) {
+	solve := func(m ChipModel, opt floorplan.Options, w float64) (thermal.Celsius, error) {
 		t, err := s.SolveThermal(ThermalCase{Model: m, Opt: opt, Act: act, L2Rate: rate15, CheckerW: w})
 		return t.PeakC, err
 	}
@@ -386,8 +386,8 @@ type Section4Result struct {
 	// 65 nm → 24.9 W at 90 nm in its models).
 	Actual65W, Actual90W   float64
 	TopBanks65, TopBanks90 int
-	Temp65, Temp90         float64 // 3d-2a peak anywhere
-	Temp65Die1, Temp90Die1 float64 // processor-die peak
+	Temp65, Temp90         thermal.Celsius // 3d-2a peak anywhere
+	Temp65Die1, Temp90Die1 thermal.Celsius // processor-die peak
 	PeakFreq90GHz          float64
 	MeanCheckerFreqGHz     float64 // demand under the 1.4 GHz cap
 	SlowdownPct            float64 // leading-core slowdown from the cap
@@ -492,11 +492,11 @@ func Section4(s *Session) (Section4Result, error) {
 	if err != nil {
 		return res, err
 	}
-	freqFor := func(peak float64) float64 {
+	freqFor := func(peak thermal.Celsius) float64 {
 		if peak <= base.PeakC {
 			return 2.0
 		}
-		fRel := math.Cbrt((base.PeakC - thermal.AmbientC) / (peak - thermal.AmbientC))
+		fRel := math.Cbrt(float64((base.PeakC - thermal.AmbientC) / (peak - thermal.AmbientC)))
 		return math.Floor(fRel*2.0*10+0.5) / 10
 	}
 	res.ConstThermalFreq65GHz = freqFor(t65.PeakC)

@@ -31,7 +31,7 @@ type Quality struct {
 	// Benchmarks restricts the suite (nil = all 19).
 	Benchmarks []string
 	// ThermalTolC / ThermalMaxIters bound the SOR solver.
-	ThermalTolC     float64
+	ThermalTolC     thermal.Celsius
 	ThermalMaxIters int
 	Seed            int64
 }
@@ -264,7 +264,7 @@ func (s *Session) RMT(bench string, l2c L2Config, maxCheckerGHz float64) (RMTRun
 // computeRMT is the KindRMT window body.
 func (s *Session) computeRMT(k RunKey) (RMTRun, error) {
 	cfg := core.Default(ooo.Default())
-	cfg.CheckerMaxFreqGHz = float64(k.CheckerCGHz) / 100
+	cfg.CheckerMaxFreqGHz = k.CheckerCGHz.GHz()
 	return s.runRMTWindow(k, cfg)
 }
 

@@ -52,9 +52,9 @@ type ThermalCase struct {
 
 // ThermalResult reports the solved temperatures.
 type ThermalResult struct {
-	PeakC     float64 // hottest active-layer cell anywhere
-	PeakDie1C float64
-	PeakDie2C float64 // NaN-free: equals PeakDie1C for 2D models
+	PeakC     thermal.Celsius // hottest active-layer cell anywhere
+	PeakDie1C thermal.Celsius
+	PeakDie2C thermal.Celsius // NaN-free: equals PeakDie1C for 2D models
 	Iters     int
 }
 

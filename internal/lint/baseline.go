@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// JSONFinding is the machine-readable form of a Finding: the filename
+// is module-root-relative with forward slashes, so the bytes are stable
+// across checkouts and operating systems.
+type JSONFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// Relativize rewrites a finding's filename relative to root (when it is
+// under root) for stable, readable output.
+func Relativize(root string, f Finding) Finding {
+	if root == "" {
+		return f
+	}
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = filepath.ToSlash(rel)
+	}
+	return f
+}
+
+// ToJSON converts findings (already sorted by Run) to their
+// machine-readable form, relativized against root.
+func ToJSON(root string, findings []Finding) []JSONFinding {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		f = Relativize(root, f)
+		out = append(out, JSONFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Check:   f.Check,
+			Message: f.Message,
+		})
+	}
+	return out
+}
+
+// MarshalJSON renders findings as an indented JSON array terminated by
+// a newline. The input order is preserved (Run sorts canonically), and
+// encoding/json emits struct fields in declaration order, so the bytes
+// are identical across runs over identical findings.
+func MarshalJSON(root string, findings []Finding) ([]byte, error) {
+	data, err := json.MarshalIndent(ToJSON(root, findings), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// A Baseline is a set of accepted findings. Matching ignores line and
+// column — code above a known finding may move it — and counts
+// duplicates, so two identical findings in one file need two baseline
+// entries.
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineKey identifies a finding for baseline matching.
+func baselineKey(f JSONFinding) string {
+	return f.File + "\x00" + f.Check + "\x00" + f.Message
+}
+
+// NewBaseline builds a baseline from accepted findings (typically a
+// previous run's ToJSON output).
+func NewBaseline(accepted []JSONFinding) *Baseline {
+	b := &Baseline{counts: map[string]int{}}
+	for _, f := range accepted {
+		b.counts[baselineKey(f)]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file: a JSON array in the -json output
+// format.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var accepted []JSONFinding
+	if err := json.Unmarshal(data, &accepted); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return NewBaseline(accepted), nil
+}
+
+// Apply splits findings into regressions (not covered by the baseline —
+// these fail the run) and returns the stale baseline entries that
+// matched nothing (candidates for deletion, reported but not fatal).
+// Findings are matched in order, so with duplicate keys the earliest
+// occurrences are suppressed first.
+func (b *Baseline) Apply(root string, findings []Finding) (regressions []Finding, stale []string) {
+	remaining := make(map[string]int, len(b.counts))
+	//lint:ignore maporder map-to-map copy; each key is written exactly once, order-independent
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	for _, f := range findings {
+		k := baselineKey(ToJSON(root, []Finding{f})[0])
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		regressions = append(regressions, f)
+	}
+	//lint:ignore maporder the stale list is sorted below before any use
+	for k, n := range remaining {
+		if n > 0 {
+			parts := strings.SplitN(k, "\x00", 3)
+			stale = append(stale, fmt.Sprintf("%s: %s: %s (×%d)", parts[0], parts[1], parts[2], n))
+		}
+	}
+	sort.Strings(stale)
+	return regressions, stale
+}

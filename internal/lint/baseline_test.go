@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func testFinding(file string, line int, check, msg string) Finding {
+	return Finding{
+		Check:   check,
+		Pos:     token.Position{Filename: file, Line: line, Column: 2},
+		Message: msg,
+	}
+}
+
+func TestBaselineMatchIgnoresLineDrift(t *testing.T) {
+	root := "/mod"
+	accepted := ToJSON(root, []Finding{testFinding("/mod/a/f.go", 10, "maporder", "m")})
+	b := NewBaseline(accepted)
+	// The same finding moved 30 lines down still matches.
+	regressions, stale := b.Apply(root, []Finding{testFinding("/mod/a/f.go", 40, "maporder", "m")})
+	if len(regressions) != 0 || len(stale) != 0 {
+		t.Errorf("regressions=%v stale=%v, want the drifted finding matched", regressions, stale)
+	}
+}
+
+func TestBaselineCountsDuplicates(t *testing.T) {
+	root := "/mod"
+	f := testFinding("/mod/a/f.go", 10, "maporder", "m")
+	b := NewBaseline(ToJSON(root, []Finding{f}))
+	// Two identical findings against one baseline entry: one regression.
+	regressions, _ := b.Apply(root, []Finding{f, testFinding("/mod/a/f.go", 20, "maporder", "m")})
+	if len(regressions) != 1 {
+		t.Fatalf("%d regressions, want 1 (count semantics)", len(regressions))
+	}
+}
+
+func TestBaselineReportsStale(t *testing.T) {
+	root := "/mod"
+	b := NewBaseline(ToJSON(root, []Finding{
+		testFinding("/mod/a/f.go", 10, "maporder", "still here"),
+		testFinding("/mod/b/g.go", 5, "errdrop", "gone"),
+	}))
+	regressions, stale := b.Apply(root, []Finding{testFinding("/mod/a/f.go", 10, "maporder", "still here")})
+	if len(regressions) != 0 {
+		t.Errorf("unexpected regressions: %v", regressions)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "b/g.go") || !strings.Contains(stale[0], "(×1)") {
+		t.Errorf("stale = %v, want the unmatched entry with its count", stale)
+	}
+}
+
+func TestMarshalJSONIsByteStable(t *testing.T) {
+	root := "/mod"
+	fs := []Finding{
+		testFinding("/mod/a/f.go", 10, "maporder", "m"),
+		testFinding("/mod/b/g.go", 5, "errdrop", "e"),
+	}
+	first, err := MarshalJSON(root, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := MarshalJSON(root, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("MarshalJSON output differs across identical inputs")
+	}
+	if !strings.HasSuffix(string(first), "\n") {
+		t.Error("MarshalJSON output should end with a newline")
+	}
+	if strings.Contains(string(first), "/mod/") {
+		t.Error("JSON filenames should be root-relative")
+	}
+}
+
+func TestRelativizeLeavesOutsidePathsAlone(t *testing.T) {
+	f := testFinding("/elsewhere/f.go", 1, "maporder", "m")
+	if got := Relativize("/mod", f); got.Pos.Filename != "/elsewhere/f.go" {
+		t.Errorf("filename %q, want the absolute path kept", got.Pos.Filename)
+	}
+}

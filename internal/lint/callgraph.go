@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds a whole-program call graph over the module's typed
+// ASTs. The graph is deliberately conservative: an edge is recorded for
+// every *reference* to a function object — a call, a method value, a
+// function assigned to a variable or passed as an argument — because a
+// referenced function may run later even if the reference site is not a
+// call expression. Dynamic dispatch through an interface cannot be
+// resolved statically, so interface-method references carry the set of
+// concrete module methods that implement the interface as fallback
+// candidates. Calls through plain function-typed values (fields,
+// variables, parameters) have no callee object at all and produce no
+// edge; analyzers that need soundness there must rely on the edge
+// recorded where the function value was originally referenced.
+
+// A FuncRef is one reference to a function object inside a graph node.
+type FuncRef struct {
+	Obj  *types.Func // referenced function or method (module or stdlib)
+	Pos  token.Pos
+	Call bool // reference is the callee of a call expression
+	// Iface marks a selection whose receiver is an interface; Obj is
+	// then the interface method and Candidates the concrete module
+	// methods dispatch may reach.
+	Iface      bool
+	Candidates []*types.Func
+}
+
+// A CallNode is one module-defined function or method with every
+// function reference in its body (including references inside nested
+// function literals, which are attributed to the enclosing
+// declaration).
+type CallNode struct {
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Refs []FuncRef
+}
+
+// A CallGraph holds the module's call nodes plus the function
+// references made from package-level variable initializers (which run
+// at init time and belong to no declared function).
+type CallGraph struct {
+	Nodes map[*types.Func]*CallNode
+	// InitRefs lists file-scope references per package, e.g. a
+	// package-level `var t0 = time.Now()`.
+	InitRefs map[*Package][]FuncRef
+}
+
+// BuildCallGraph constructs the module call graph over the loaded
+// packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	cg := &CallGraph{
+		Nodes:    map[*types.Func]*CallNode{},
+		InitRefs: map[*Package][]FuncRef{},
+	}
+	ir := newIfaceResolver(pkgs)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					obj, ok := pkg.Info.Defs[d.Name].(*types.Func)
+					if !ok || d.Body == nil {
+						continue
+					}
+					cg.Nodes[obj] = &CallNode{
+						Fn:   obj,
+						Pkg:  pkg,
+						Decl: d,
+						Refs: collectRefs(pkg, d.Body, ir),
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, v := range vs.Values {
+							cg.InitRefs[pkg] = append(cg.InitRefs[pkg], collectRefs(pkg, v, ir)...)
+						}
+					}
+				}
+			}
+		}
+	}
+	return cg
+}
+
+// SortedNodes returns the graph's nodes in source-position order, so
+// every traversal over the graph is deterministic.
+func (cg *CallGraph) SortedNodes() []*CallNode {
+	nodes := make([]*CallNode, 0, len(cg.Nodes))
+	//lint:ignore maporder the node list is sorted by position below before any use
+	for _, n := range cg.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Fn.Pos() < nodes[j].Fn.Pos() })
+	return nodes
+}
+
+// collectRefs gathers every function reference under n. Callee idents
+// of call expressions are marked Call; selections through an interface
+// receiver are resolved to their concrete candidates.
+func collectRefs(pkg *Package, n ast.Node, ir *ifaceResolver) []FuncRef {
+	// First pass: remember which idents are the callee of a call, so
+	// the ident walk below can tell calls from value references.
+	callee := map[*ast.Ident]bool{}
+	ifaceSel := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				callee[fun] = true
+			case *ast.SelectorExpr:
+				callee[fun.Sel] = true
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[n]; ok {
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+					ifaceSel[n.Sel] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var refs []FuncRef
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pkg.Info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		ref := FuncRef{Obj: obj, Pos: id.Pos(), Call: callee[id]}
+		if ifaceSel[id] {
+			ref.Iface = true
+			ref.Candidates = ir.candidates(obj)
+		}
+		refs = append(refs, ref)
+		return true
+	})
+	return refs
+}
+
+// ifaceResolver maps interface methods to the concrete module methods
+// that may satisfy dynamic dispatch, computed lazily and cached.
+type ifaceResolver struct {
+	pkgs  []*types.Package
+	named []*types.Named // every named type declared in the module
+	cache map[*types.Func][]*types.Func
+}
+
+func newIfaceResolver(pkgs []*Package) *ifaceResolver {
+	ir := &ifaceResolver{cache: map[*types.Func][]*types.Func{}}
+	for _, pkg := range pkgs {
+		ir.pkgs = append(ir.pkgs, pkg.Types)
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				ir.named = append(ir.named, named)
+			}
+		}
+	}
+	return ir
+}
+
+// candidates returns the concrete module methods an interface-method
+// call may dispatch to, in declaration order.
+func (ir *ifaceResolver) candidates(m *types.Func) []*types.Func {
+	if c, ok := ir.cache[m]; ok {
+		return c
+	}
+	var cands []*types.Func
+	sig, ok := m.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			for _, named := range ir.named {
+				if types.IsInterface(named) {
+					continue
+				}
+				ptr := types.NewPointer(named)
+				if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), m.Name())
+				if fn, ok := obj.(*types.Func); ok {
+					cands = append(cands, fn)
+				}
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Pos() < cands[j].Pos() })
+	ir.cache[m] = cands
+	return cands
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"testing"
+)
+
+// nodeByName finds a graph node by function name (test fixtures keep
+// names unique across the fixture module).
+func nodeByName(t *testing.T, cg *CallGraph, name string) *CallNode {
+	t.Helper()
+	var found *CallNode
+	for _, n := range cg.SortedNodes() {
+		if n.Fn.Name() == name {
+			if found != nil {
+				t.Fatalf("two nodes named %s", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named %s", name)
+	}
+	return found
+}
+
+// refTo reports whether the node references a function of the given
+// name, and whether that reference is a call.
+func refTo(n *CallNode, name string) (found, call bool) {
+	for _, r := range n.Refs {
+		if r.Obj.Name() == name {
+			return true, r.Call
+		}
+	}
+	return false, false
+}
+
+func TestCallGraphRecordsMutualRecursion(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+func Ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Pong(n - 1)
+}
+
+func Pong(n int) int { return Ping(n - 1) }
+`}})
+	cg := BuildCallGraph(pkgs)
+	if found, call := refTo(nodeByName(t, cg, "Ping"), "Pong"); !found || !call {
+		t.Errorf("Ping → Pong edge: found=%v call=%v, want call edge", found, call)
+	}
+	if found, call := refTo(nodeByName(t, cg, "Pong"), "Ping"); !found || !call {
+		t.Errorf("Pong → Ping edge: found=%v call=%v, want call edge", found, call)
+	}
+}
+
+func TestCallGraphMethodValueIsAnEdge(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+type Box struct{ v int }
+
+func (b Box) Get() int { return b.v }
+
+// Take passes the method as a value: no call expression, but dispatch
+// may still happen later, so the graph must record the reference.
+func Take(b Box) func() int {
+	f := b.Get
+	return f
+}
+`}})
+	found, call := refTo(nodeByName(t, BuildCallGraph(pkgs), "Take"), "Get")
+	if !found {
+		t.Fatal("method-value reference Take → Get not recorded")
+	}
+	if call {
+		t.Error("method value recorded as a call; want a value reference")
+	}
+}
+
+func TestCallGraphFuncLitRefsBelongToEnclosingDecl(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+func helper() int { return 1 }
+
+func Outer() func() int {
+	return func() int { return helper() }
+}
+`}})
+	if found, _ := refTo(nodeByName(t, BuildCallGraph(pkgs), "Outer"), "helper"); !found {
+		t.Error("reference inside nested function literal not attributed to Outer")
+	}
+}
+
+func TestCallGraphInterfaceDispatchCandidates(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+type Source interface{ Value() int }
+
+type A struct{}
+
+func (A) Value() int { return 1 }
+
+type B struct{}
+
+func (B) Value() int { return 2 }
+
+func Sample(s Source) int { return s.Value() }
+`}})
+	n := nodeByName(t, BuildCallGraph(pkgs), "Sample")
+	var iface *FuncRef
+	for i, r := range n.Refs {
+		if r.Iface {
+			iface = &n.Refs[i]
+		}
+	}
+	if iface == nil {
+		t.Fatal("interface-method reference in Sample not marked Iface")
+	}
+	if len(iface.Candidates) != 2 {
+		t.Fatalf("%d dispatch candidates, want the 2 module implementations", len(iface.Candidates))
+	}
+	// Candidates are position-sorted: A.Value precedes B.Value.
+	if got := iface.Candidates[0].FullName() + " " + iface.Candidates[1].FullName(); got != "(r3d/internal/fixture.A).Value (r3d/internal/fixture.B).Value" {
+		t.Errorf("candidates = %s", got)
+	}
+}
+
+func TestCallGraphInitRefs(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+func seed() int { return 7 }
+
+var start = seed()
+`}})
+	cg := BuildCallGraph(pkgs)
+	refs := cg.InitRefs[pkgs[0]]
+	if len(refs) != 1 || refs[0].Obj.Name() != "seed" || !refs[0].Call {
+		t.Errorf("InitRefs = %+v, want one call reference to seed", refs)
+	}
+}

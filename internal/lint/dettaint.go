@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetTaint propagates nondeterminism taint through the whole-program
+// call graph. The v1 wallclock/globalrand/maporder checks are purely
+// local: they flag a time.Now, a global math/rand draw or a map
+// iteration at the line it appears on, so a source laundered through
+// one wrapper function — `func stamp() int64 { return clock() }` with
+// `clock` calling time.Now — sails straight into model code unseen.
+// DetTaint closes that hole: a function is tainted if it (or anything
+// it can reach through calls, method values, or conservative interface
+// dispatch) observes a nondeterminism source, and any reference from
+// model code (internal/ packages) to a tainted module function is a
+// finding, with the taint chain spelled out.
+//
+// A reasoned //lint:ignore wallclock / globalrand / maporder / dettaint
+// directive at the source stops propagation there: a justified boundary
+// (e.g. the campaign harness's opt-in host-clock stall guard) must not
+// taint every caller above it.
+var DetTaint = &Analyzer{
+	Name:      "dettaint",
+	Doc:       "model code reaches a nondeterminism source through the call graph",
+	RunModule: runDetTaint,
+}
+
+// sourceDesc classifies a function object as a nondeterminism source,
+// returning a human-readable description or "".
+func sourceDesc(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return "time." + fn.Name() + " (wall clock)"
+		}
+	case "math/rand", "math/rand/v2":
+		// Only package-level functions draw from the process-global
+		// generator; methods on *rand.Rand are seeded per component.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !globalRandAllowed[fn.Name()] {
+			return pkg.Path() + "." + fn.Name() + " (process-global RNG)"
+		}
+	}
+	return ""
+}
+
+// sourceCheck is the local analyzer that would flag a direct use of the
+// source; its //lint:ignore directives stop taint seeding too.
+func sourceCheck(fn *types.Func) string {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+		return WallClock.Name
+	}
+	return GlobalRand.Name
+}
+
+// taint is the reason one function is nondeterministic: the chain of
+// calls from it to a source.
+type taint struct {
+	chain string // e.g. "stamp → clock → time.Now (wall clock)"
+}
+
+func runDetTaint(mp *ModulePass) {
+	cg := BuildCallGraph(mp.Pkgs)
+	nodes := cg.SortedNodes()
+
+	// Seed: functions that directly observe a source (unless a reasoned
+	// directive covers the source line — for the dettaint check itself
+	// or for the local check that owns the source).
+	tainted := map[*types.Func]taint{}
+	for _, n := range nodes {
+		for _, ref := range n.Refs {
+			desc := sourceDesc(ref.Obj)
+			if desc == "" {
+				continue
+			}
+			if mp.SuppressedAt(ref.Pos, "dettaint") || mp.SuppressedAt(ref.Pos, sourceCheck(ref.Obj)) {
+				continue
+			}
+			if _, ok := tainted[n.Fn]; !ok {
+				tainted[n.Fn] = taint{chain: n.Fn.Name() + " → " + desc}
+			}
+		}
+		if _, ok := tainted[n.Fn]; ok {
+			continue
+		}
+		if _, ok := unsanctionedMapRange(mp, n.Pkg, n.Decl.Body); ok {
+			tainted[n.Fn] = taint{chain: n.Fn.Name() + " → map iteration (order randomized per run)"}
+		}
+	}
+
+	// Propagate to callers until the fixpoint; node order is positional,
+	// so the chains picked on ties are deterministic. Cycles converge
+	// because a function already tainted is never revisited.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if _, ok := tainted[n.Fn]; ok {
+				continue
+			}
+			for _, ref := range n.Refs {
+				if t, ok := taintOf(tainted, ref); ok {
+					tainted[n.Fn] = taint{chain: n.Fn.Name() + " → " + t.chain}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Report every reference from model code to a tainted module
+	// function, and any source captured as a bare function value (a
+	// direct source *call* in model code is the local checks' finding,
+	// not repeated here).
+	for _, n := range nodes {
+		if !inModelCode(n.Pkg) {
+			continue
+		}
+		reportTaintedRefs(mp, n.Refs, tainted)
+	}
+	for _, pkg := range mp.Pkgs {
+		if inModelCode(pkg) {
+			reportTaintedRefs(mp, cg.InitRefs[pkg], tainted)
+		}
+	}
+}
+
+// taintOf resolves a reference against the taint map, following the
+// conservative interface-dispatch candidates.
+func taintOf(tainted map[*types.Func]taint, ref FuncRef) (taint, bool) {
+	if t, ok := tainted[ref.Obj]; ok {
+		return t, true
+	}
+	if ref.Iface {
+		for _, c := range ref.Candidates {
+			if t, ok := tainted[c]; ok {
+				return t, true
+			}
+		}
+	}
+	return taint{}, false
+}
+
+// reportTaintedRefs emits the dettaint findings for one node or init
+// block's references.
+func reportTaintedRefs(mp *ModulePass, refs []FuncRef, tainted map[*types.Func]taint) {
+	for _, ref := range refs {
+		if desc := sourceDesc(ref.Obj); desc != "" {
+			if !ref.Call {
+				mp.Reportf(ref.Pos, "%s captured as a function value in model code; calls through it are untraceable — inject a deterministic substitute", desc)
+			}
+			continue
+		}
+		t, ok := taintOf(tainted, ref)
+		if !ok {
+			continue
+		}
+		if ref.Iface {
+			mp.Reportf(ref.Pos, "dynamic call to %s may reach a nondeterminism source (%s)", ref.Obj.Name(), t.chain)
+			continue
+		}
+		verb := "reference to"
+		if ref.Call {
+			verb = "call to"
+		}
+		mp.Reportf(ref.Pos, "%s %s reaches a nondeterminism source (%s)", verb, ref.Obj.Name(), t.chain)
+	}
+}
+
+// unsanctionedMapRange finds a map iteration in body that is neither
+// the sanctioned key-collection loop nor covered by a reasoned
+// maporder/dettaint directive; such an iteration makes the enclosing
+// function's behaviour order-dependent and therefore a taint seed.
+func unsanctionedMapRange(mp *ModulePass, pkg *Package, body *ast.BlockStmt) (ast.Node, bool) {
+	var hit ast.Node
+	ast.Inspect(body, func(node ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		rs, ok := node.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap || isKeyCollectionLoop(rs) {
+			return true
+		}
+		if mp.SuppressedAt(rs.Pos(), MapOrder.Name) || mp.SuppressedAt(rs.Pos(), "dettaint") {
+			return true
+		}
+		hit = rs
+		return false
+	})
+	return hit, hit != nil
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// wrapperFixture launders time.Now through two non-model wrapper
+// functions before model code consumes it. The v1 wallclock check is
+// per-package and model-only, so the laundering makes the read
+// invisible to it; dettaint follows the call chain.
+var wrapperFixture = []fixtureFile{
+	{"r3d/wrap", `
+package wrap
+
+import "time"
+
+func clock() time.Time { return time.Now() }
+
+// Stamp launders the wall clock through a second call layer.
+func Stamp() time.Time { return clock() }
+`},
+	{modelPath, `
+package fixture
+
+import "r3d/wrap"
+
+// Now is model code reaching the host clock through the wrappers.
+func Now() int64 { return wrap.Stamp().UnixNano() }
+`},
+}
+
+// The acceptance test of the v2 tentpole: on the same fixture, the old
+// local wallclock check provably misses the laundered clock read while
+// the interprocedural dettaint analyzer catches it at the model call
+// site, naming the full chain.
+func TestDetTaintCatchesWhatWallClockMisses(t *testing.T) {
+	pkgs := checkModuleFixture(t, wrapperFixture)
+
+	if old := Run(pkgs, []*Analyzer{WallClock}); len(old) != 0 {
+		t.Fatalf("wallclock unexpectedly found the laundered read: %v", old)
+	}
+
+	fs := Run(pkgs, []*Analyzer{DetTaint})
+	wantChecks(t, fs, "dettaint")
+	if want := "Stamp → clock → time.Now (wall clock)"; !strings.Contains(fs[0].Message, want) {
+		t.Errorf("finding %q does not spell out the taint chain %q", fs[0].Message, want)
+	}
+	if !strings.Contains(fs[0].Pos.Filename, modelPath) {
+		t.Errorf("finding placed at %s, want the model call site", fs[0].Pos.Filename)
+	}
+}
+
+// A reasoned directive at the source stops propagation: a sanctioned
+// boundary must not taint every caller above it.
+func TestDetTaintSuppressionStopsPropagation(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+import "time"
+
+func guard() time.Time {
+	//lint:ignore wallclock sanctioned host-clock boundary for this fixture
+	return time.Now()
+}
+
+// Caller must stay clean: the source below guard is justified.
+func Caller() int64 { return guard().UnixNano() }
+`}})
+	wantChecks(t, Run(pkgs, []*Analyzer{DetTaint}))
+}
+
+// Map iteration feeding a function's behaviour seeds taint too.
+func TestDetTaintMapIterationSeedsTaint(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+import "fmt"
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func Render(m map[string]int) { dump(m) }
+`}})
+	fs := Run(pkgs, []*Analyzer{DetTaint})
+	wantChecks(t, fs, "dettaint")
+	if want := "dump → map iteration (order randomized per run)"; !strings.Contains(fs[0].Message, want) {
+		t.Errorf("finding %q does not name the map-iteration seed %q", fs[0].Message, want)
+	}
+}
+
+// A source captured as a bare function value in model code is reported
+// even though no call is visible to the graph.
+func TestDetTaintFlagsSourceFunctionValues(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+import "time"
+
+// Clock smuggles the wall clock in as a function value.
+var Clock = time.Now
+`}})
+	fs := Run(pkgs, []*Analyzer{DetTaint})
+	wantChecks(t, fs, "dettaint")
+	if !strings.Contains(fs[0].Message, "captured as a function value") {
+		t.Errorf("finding %q should flag the function-value capture", fs[0].Message)
+	}
+}
+
+// Dynamic dispatch through an interface with a tainted implementer is
+// reported conservatively.
+func TestDetTaintInterfaceDispatchFallback(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+import "time"
+
+type Source interface{ Value() int64 }
+
+type hostClock struct{}
+
+func (hostClock) Value() int64 { return time.Now().UnixNano() }
+
+type fixed struct{}
+
+func (fixed) Value() int64 { return 42 }
+
+func Sample(s Source) int64 { return s.Value() }
+`}})
+	fs := Run(pkgs, []*Analyzer{DetTaint})
+	wantChecks(t, fs, "dettaint")
+	if !strings.Contains(fs[0].Message, "dynamic call to Value") {
+		t.Errorf("finding %q should report the dynamic call", fs[0].Message)
+	}
+}
+
+// Direct source calls in model code belong to the local checks; taint
+// reporting must not duplicate them.
+func TestDetTaintDoesNotDuplicateLocalFindings(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+import "time"
+
+func Tick() int64 { return time.Now().UnixNano() }
+`}})
+	wantChecks(t, Run(pkgs, []*Analyzer{DetTaint}))
+	wantChecks(t, Run(pkgs, []*Analyzer{WallClock, DetTaint}), "wallclock")
+}

@@ -47,6 +47,55 @@ func checkFixture(t *testing.T, ipath, src string) *Package {
 	return &Package{Path: ipath, Fset: fixFset, Files: []*ast.File{f}, Types: tpkg, Info: info}
 }
 
+// fixtureFile is one in-memory package of a multi-package fixture.
+type fixtureFile struct {
+	path string // import path
+	src  string
+}
+
+// fixtureImporter resolves already-checked fixture packages, then falls
+// back to the stdlib source importer — the in-memory analogue of the
+// loader's moduleImporter.
+type fixtureImporter struct{ pkgs map[string]*Package }
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	return fixStd.Import(path)
+}
+
+// checkModuleFixture type-checks several in-memory packages in order
+// (earlier entries are importable by later ones), returning them as a
+// loaded-module slice for the whole-program analyzers.
+func checkModuleFixture(t *testing.T, files []fixtureFile) []*Package {
+	t.Helper()
+	byPath := map[string]*Package{}
+	var pkgs []*Package
+	for _, ff := range files {
+		f, err := parser.ParseFile(fixFset, ff.path+"/fixture.go", ff.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", ff.path, err)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		cfg := types.Config{Importer: &fixtureImporter{pkgs: byPath}}
+		tpkg, err := cfg.Check(ff.path, fixFset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("typecheck fixture %s: %v", ff.path, err)
+		}
+		p := &Package{Path: ff.path, Fset: fixFset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+		byPath[ff.path] = p
+		pkgs = append(pkgs, p)
+	}
+	return pkgs
+}
+
 // findings runs a single analyzer over one fixture (suppressions
 // applied, as in the real driver) and returns the result.
 func findings(t *testing.T, a *Analyzer, ipath, src string) []Finding {

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoCapture inspects `go func() { ... }()` literals — the worker pools
+// of internal/runsched and internal/campaign are the motivating sites —
+// for two classic concurrency mistakes:
+//
+//   - an enclosing loop's iteration variable referenced inside the
+//     goroutine body instead of being passed as an argument. Per-
+//     iteration loop variables (Go 1.22) make this safe in this module,
+//     but the capture still reads as pre-1.22 shared state and breaks
+//     the moment the code is vendored into an older-language module, so
+//     the explicit parameter form is enforced;
+//   - an unsynchronized write to a variable captured from the enclosing
+//     function: a plain assignment, ++/--, or a map-element store on a
+//     captured map. Disjoint-index writes into a captured slice (the
+//     worker pools' per-trial result slots) are the sanctioned pattern
+//     and are not flagged; everything else needs a channel, a mutex
+//     moved into the data structure, or a reasoned //lint:ignore.
+//
+// Unlike the model-code-only checks, GoCapture applies everywhere: a
+// racy goroutine in a cmd/ driver corrupts results just as surely.
+var GoCapture = &Analyzer{
+	Name: "gocapture",
+	Doc:  "goroutine literal captures a loop variable or writes shared state unsynchronized",
+	Run:  runGoCapture,
+}
+
+func runGoCapture(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			inspectGoStmts(p, fd.Body, nil)
+			return false
+		})
+	}
+}
+
+// inspectGoStmts walks stmts tracking the loop variables in scope; at
+// each `go` statement with a function-literal callee it checks the
+// literal's body.
+func inspectGoStmts(p *Pass, n ast.Node, loopVars []*types.Var) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			vars := loopVars
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if v, ok := p.Pkg.Info.Defs[id].(*types.Var); ok {
+						vars = append(vars, v)
+					}
+				}
+			}
+			inspectGoStmts(p, n.Body, vars)
+			return false
+		case *ast.ForStmt:
+			vars := loopVars
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok {
+						if v, ok := p.Pkg.Info.Defs[id].(*types.Var); ok {
+							vars = append(vars, v)
+						}
+					}
+				}
+			}
+			inspectGoStmts(p, n.Body, vars)
+			return false
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				checkGoLiteral(p, lit, loopVars)
+			}
+			// The call's arguments are evaluated at `go` time and are
+			// safe; keep walking them (they may nest further literals).
+			return true
+		}
+		return true
+	})
+}
+
+// checkGoLiteral reports loop-variable captures and unsynchronized
+// captured-state writes inside one goroutine literal.
+func checkGoLiteral(p *Pass, lit *ast.FuncLit, loopVars []*types.Var) {
+	captured := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pos() == 0 {
+			return false
+		}
+		return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+	}
+	isLoopVar := func(obj types.Object) bool {
+		for _, lv := range loopVars {
+			if obj == lv {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := p.Pkg.Info.Uses[n]; obj != nil && isLoopVar(obj) {
+				p.Reportf(n.Pos(), "goroutine captures loop variable %s; pass it as an argument to the function literal", n.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkCapturedWrite(p, lhs, captured)
+			}
+		case *ast.IncDecStmt:
+			checkCapturedWrite(p, n.X, captured)
+		}
+		return true
+	})
+}
+
+// checkCapturedWrite flags a write target that is a captured variable
+// (plain identifier) or an element of a captured map. Writes through
+// selectors and slice indices are left to the race detector: the former
+// are usually guarded by the object's own mutex and the latter are the
+// sanctioned disjoint-slot pattern.
+func checkCapturedWrite(p *Pass, lhs ast.Expr, captured func(types.Object) bool) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := p.Pkg.Info.Uses[lhs]; obj != nil && captured(obj) {
+			p.Reportf(lhs.Pos(), "goroutine writes captured variable %s without synchronization; use a channel or per-goroutine slot", lhs.Name)
+		}
+	case *ast.IndexExpr:
+		id, ok := ast.Unparen(lhs.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := p.Pkg.Info.Uses[id]
+		if obj == nil || !captured(obj) {
+			return
+		}
+		if _, isMap := obj.Type().Underlying().(*types.Map); isMap {
+			p.Reportf(lhs.Pos(), "goroutine writes captured map %s; map writes race — use a channel or lock inside the owning type", id.Name)
+		}
+	}
+}

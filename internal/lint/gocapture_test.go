@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// gocapture applies module-wide (drivers race too), so the fixtures use
+// driverPath on purpose.
+
+func TestGoCaptureLoopVariableRead(t *testing.T) {
+	fs := findings(t, GoCapture, driverPath, `
+package fixture
+
+import "fmt"
+
+func Spawn(jobs []string) {
+	for _, j := range jobs {
+		go func() {
+			fmt.Println(j)
+		}()
+	}
+}
+`)
+	wantChecks(t, fs, "gocapture")
+	if !strings.Contains(fs[0].Message, "captures loop variable j") {
+		t.Errorf("finding %q should name the captured loop variable", fs[0].Message)
+	}
+}
+
+func TestGoCapturePassingLoopVariableIsClean(t *testing.T) {
+	wantChecks(t, findings(t, GoCapture, driverPath, `
+package fixture
+
+import "fmt"
+
+func Spawn(jobs []string) {
+	for _, j := range jobs {
+		go func(j string) {
+			fmt.Println(j)
+		}(j)
+	}
+}
+`))
+}
+
+func TestGoCaptureUnsynchronizedWrite(t *testing.T) {
+	fs := findings(t, GoCapture, driverPath, `
+package fixture
+
+func Count(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			total++
+		}(i)
+	}
+	return total
+}
+`)
+	wantChecks(t, fs, "gocapture")
+	if !strings.Contains(fs[0].Message, "writes captured variable total") {
+		t.Errorf("finding %q should name the racy write", fs[0].Message)
+	}
+}
+
+func TestGoCaptureMapWrite(t *testing.T) {
+	fs := findings(t, GoCapture, driverPath, `
+package fixture
+
+func Fill(keys []string) map[string]int {
+	out := map[string]int{}
+	for i, k := range keys {
+		go func(i int, k string) {
+			out[k] = i
+		}(i, k)
+	}
+	return out
+}
+`)
+	wantChecks(t, fs, "gocapture")
+	if !strings.Contains(fs[0].Message, "map") {
+		t.Errorf("finding %q should call out the map write", fs[0].Message)
+	}
+}
+
+// Disjoint-slot slice writes are the sanctioned worker-pool result
+// pattern (each goroutine owns index i); they must stay clean.
+func TestGoCaptureSliceSlotWriteIsAllowed(t *testing.T) {
+	wantChecks(t, findings(t, GoCapture, driverPath, `
+package fixture
+
+func Map(in []int, f func(int) int) []int {
+	out := make([]int, len(in))
+	for i, v := range in {
+		go func(i, v int) {
+			out[i] = f(v)
+		}(i, v)
+	}
+	return out
+}
+`))
+}

@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -13,16 +15,31 @@ import (
 // own line (end-of-line form) or on the line directly below it
 // (preceding-comment form). The reason is mandatory; a directive
 // without one is reported as a "lintdirective" finding so suppressions
-// can never silently lose their justification.
+// can never silently lose their justification. A directive that
+// matches no finding of a check that actually ran is likewise reported
+// as stale: when the offending construct is fixed or deleted, the
+// suppression must go with it.
 const ignorePrefix = "lint:ignore"
 
-// ignoreSet records, per file and line, which checks are suppressed.
-type ignoreSet map[string]map[int][]string
+// A directive is one parsed //lint:ignore comment.
+type directive struct {
+	check string
+	pos   token.Position
+	// used records whether the directive suppressed at least one
+	// finding (or blocked at least one taint seed) during the run.
+	used bool
+}
 
-// collectIgnores scans a package's comments for directives. Malformed
-// directives are returned as findings.
-func collectIgnores(fset *token.FileSet, pkgs []*Package) (ignoreSet, []Finding) {
-	set := ignoreSet{}
+// ignoreSet indexes a run's directives by file and line.
+type ignoreSet struct {
+	byLine map[string]map[int][]*directive
+	all    []*directive
+}
+
+// collectIgnores scans the packages' comments for directives.
+// Malformed directives are returned as findings.
+func collectIgnores(fset *token.FileSet, pkgs []*Package) (*ignoreSet, []Finding) {
+	set := &ignoreSet{byLine: map[string]map[int][]*directive{}}
 	var bad []Finding
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -43,13 +60,14 @@ func collectIgnores(fset *token.FileSet, pkgs []*Package) (ignoreSet, []Finding)
 						})
 						continue
 					}
-					check := fields[0]
-					lines := set[pos.Filename]
+					d := &directive{check: fields[0], pos: pos}
+					lines := set.byLine[pos.Filename]
 					if lines == nil {
-						lines = map[int][]string{}
-						set[pos.Filename] = lines
+						lines = map[int][]*directive{}
+						set.byLine[pos.Filename] = lines
 					}
-					lines[pos.Line] = append(lines[pos.Line], check)
+					lines[pos.Line] = append(lines[pos.Line], d)
+					set.all = append(set.all, d)
 				}
 			}
 		}
@@ -58,18 +76,73 @@ func collectIgnores(fset *token.FileSet, pkgs []*Package) (ignoreSet, []Finding)
 }
 
 // suppressed reports whether a finding is covered by a directive on its
-// own line or the line above.
-func (s ignoreSet) suppressed(f Finding) bool {
-	lines, ok := s[f.Pos.Filename]
-	if !ok {
-		return false
+// own line or the line above, marking every covering directive used.
+func (s *ignoreSet) suppressed(f Finding) bool {
+	var hit bool
+	for _, d := range s.at(f.Pos.Filename, f.Pos.Line, f.Check) {
+		d.used = true
+		hit = true
 	}
-	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, check := range lines[line] {
-			if check == f.Check {
-				return true
+	return hit
+}
+
+// coversLine reports whether a directive for check covers the given
+// source line (same-line or preceding-comment form), marking matches
+// used. Module analyzers use it to stop taint propagation at a
+// reasoned boundary.
+func (s *ignoreSet) coversLine(filename string, line int, check string) bool {
+	var hit bool
+	for _, d := range s.at(filename, line, check) {
+		d.used = true
+		hit = true
+	}
+	return hit
+}
+
+// at returns the directives for check covering the given line.
+func (s *ignoreSet) at(filename string, line int, check string) []*directive {
+	lines, ok := s.byLine[filename]
+	if !ok {
+		return nil
+	}
+	var ds []*directive
+	for _, l := range []int{line, line - 1} {
+		for _, d := range lines[l] {
+			if d.check == check {
+				ds = append(ds, d)
 			}
 		}
 	}
-	return false
+	return ds
+}
+
+// stale reports directives that never matched anything. A directive is
+// stale when its check ran this invocation and produced no finding (and
+// seeded no suppressed taint) on its lines; a directive naming a check
+// that is not registered at all is reported as unknown. Directives for
+// registered checks that did not run (single-analyzer fixture runs) are
+// skipped.
+func (s *ignoreSet) stale(ran, registered map[string]bool) []Finding {
+	var fs []Finding
+	for _, d := range s.all {
+		if d.used {
+			continue
+		}
+		switch {
+		case ran[d.check]:
+			fs = append(fs, Finding{
+				Check:   "lintdirective",
+				Pos:     d.pos,
+				Message: fmt.Sprintf("stale suppression: no %s finding on this or the next line; delete the directive", d.check),
+			})
+		case !registered[d.check]:
+			fs = append(fs, Finding{
+				Check:   "lintdirective",
+				Pos:     d.pos,
+				Message: fmt.Sprintf("unknown check %q in //lint:ignore directive", d.check),
+			})
+		}
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Pos.Offset < fs[j].Pos.Offset })
+	return fs
 }

@@ -55,6 +55,53 @@ func Roll() int {
 	wantChecks(t, fs)
 }
 
+// A directive whose check ran but produced nothing on its line is
+// stale: the code it excused has been fixed (or moved), so the
+// directive must go before it silently excuses a future regression.
+func TestStaleSuppressionIsReported(t *testing.T) {
+	fs := findings(t, GlobalRand, modelPath, `
+package fixture
+
+//lint:ignore globalrand this excuses nothing anymore
+func Clean() int { return 4 }
+`)
+	wantChecks(t, fs, "lintdirective")
+	if !strings.Contains(fs[0].Message, "stale suppression") {
+		t.Errorf("finding %q should be reported as a stale suppression", fs[0].Message)
+	}
+}
+
+// A directive naming a check that does not exist is always a finding —
+// it can never suppress anything.
+func TestUnknownCheckNameIsReported(t *testing.T) {
+	fs := findings(t, GlobalRand, modelPath, `
+package fixture
+
+//lint:ignore nosuchcheck the check name is misspelled
+func Clean() int { return 4 }
+`)
+	wantChecks(t, fs, "lintdirective")
+	if !strings.Contains(fs[0].Message, `unknown check "nosuchcheck"`) {
+		t.Errorf("finding %q should name the unknown check", fs[0].Message)
+	}
+}
+
+// A directive for a registered check that simply was not part of this
+// run is neither used nor stale — single-analyzer runs (fixtures, a
+// future -run flag) must not flag the other analyzers' suppressions.
+func TestDirectiveForCheckNotRunIsSkipped(t *testing.T) {
+	wantChecks(t, findings(t, GlobalRand, modelPath, `
+package fixture
+
+import "time"
+
+func Tick() time.Time {
+	//lint:ignore wallclock sanctioned fixture boundary
+	return time.Now()
+}
+`))
+}
+
 func TestFindModule(t *testing.T) {
 	root, modPath, err := findModule(".")
 	if err != nil {

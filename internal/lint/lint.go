@@ -40,12 +40,16 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
 }
 
-// An Analyzer inspects one type-checked package and reports findings
-// through the Pass.
+// An Analyzer inspects type-checked code and reports findings. Local
+// analyzers set Run and see one package at a time; whole-program
+// analyzers set RunModule and see every package of the module at once
+// (the call-graph and units checks need the cross-package view).
+// Exactly one of the two must be set.
 type Analyzer struct {
-	Name string // short lowercase identifier used in reports and ignore directives
-	Doc  string // one-line description shown by `r3dlint -list`
-	Run  func(*Pass)
+	Name      string // short lowercase identifier used in reports and ignore directives
+	Doc       string // one-line description shown by `r3dlint -list`
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // A Pass carries one analyzer's view of one package: the parsed files,
@@ -66,13 +70,49 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// A ModulePass carries a whole-program analyzer's view of the module:
+// every loaded package, the module root (empty for in-memory fixture
+// runs), the run's suppression directives and the report sink.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Dir      string // module root directory; "" when unknown (fixture runs)
+	Pkgs     []*Package
+	ignores  *ignoreSet
+	report   func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	mp.report(Finding{
+		Check:   mp.Analyzer.Name,
+		Pos:     mp.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// SuppressedAt reports whether a reasoned //lint:ignore directive for
+// check covers pos. Whole-program analyzers use it to honor
+// suppressions at a construct they would otherwise propagate from
+// (e.g. a justified wall-clock read must not taint its callers).
+func (mp *ModulePass) SuppressedAt(pos token.Pos, check string) bool {
+	p := mp.Fset.Position(pos)
+	return mp.ignores.coversLine(p.Filename, p.Line, check)
+}
+
+// inModelCode reports whether pkg is simulator model code (see
+// Pass.InModelCode).
+func inModelCode(pkg *Package) bool {
+	return strings.Contains(pkg.Path, "/internal/")
+}
+
 // InModelCode reports whether the package under analysis is simulator
 // model code — anything below internal/. Model code must be
 // deterministic: time may only advance through cycle counters and
 // randomness only through seeded per-component *rand.Rand values.
 // Drivers (cmd/), examples and the facade package are not model code.
 func (p *Pass) InModelCode() bool {
-	return strings.Contains(p.Pkg.Path, "/internal/")
+	return inModelCode(p.Pkg)
 }
 
 // calleePkgFunc resolves a call of a package-level function through a

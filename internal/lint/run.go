@@ -1,36 +1,76 @@
 package lint
 
+import "go/token"
+
 // Analyzers returns the full determinism/hygiene suite in a fixed
-// order.
+// order: the five local checks of v1, then the v2 whole-program and
+// concurrency analyzers.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, GlobalRand, WallClock, FloatCmp, ErrDrop}
+	return []*Analyzer{MapOrder, GlobalRand, WallClock, FloatCmp, ErrDrop, GoCapture, DetTaint, Units}
 }
 
-// Run applies the analyzers to every package, filters out findings
+// Run applies the analyzers to the packages, filters out findings
 // covered by a reasoned //lint:ignore directive, and returns the
-// remainder sorted by position. Malformed directives are included as
-// findings.
+// remainder sorted by position. Malformed directives, and directives
+// that suppressed nothing a ran check could have produced (stale
+// suppressions), are included as findings. dir is the module root used
+// to locate the units manifest; it is empty for in-memory fixture runs.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		ignores, bad := collectIgnores(pkg.Fset, []*Package{pkg})
-		findings = append(findings, bad...)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Pkg:      pkg,
-			}
-			pass.report = func(f Finding) {
-				if !ignores.suppressed(f) {
-					findings = append(findings, f)
-				}
-			}
+	return RunDir("", pkgs, analyzers)
+}
+
+// RunDir is Run with an explicit module root directory.
+func RunDir(dir string, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	ignores, findings := collectIgnores(fsetOf(pkgs), pkgs)
+	report := func(f Finding) {
+		if !ignores.suppressed(f) {
+			findings = append(findings, f)
+		}
+	}
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, report: report}
 			a.Run(pass)
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Fset:     fsetOf(pkgs),
+			Dir:      dir,
+			Pkgs:     pkgs,
+			ignores:  ignores,
+			report:   report,
+		}
+		a.RunModule(mp)
+	}
+
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	registered := map[string]bool{"lintdirective": true}
+	for _, a := range Analyzers() {
+		registered[a.Name] = true
+	}
+	findings = append(findings, ignores.stale(ran, registered)...)
 	sortFindings(findings)
 	return findings
+}
+
+// fsetOf returns the packages' shared FileSet (every loader and fixture
+// helper uses a single set).
+func fsetOf(pkgs []*Package) *token.FileSet {
+	if len(pkgs) == 0 {
+		return token.NewFileSet()
+	}
+	return pkgs[0].Fset
 }
 
 // RunModule is the driver entry point: load the module containing dir
@@ -40,5 +80,5 @@ func RunModule(dir string) (*Module, []Finding, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return m, Run(m.Pkgs, Analyzers()), nil
+	return m, RunDir(m.Dir, m.Pkgs, Analyzers()), nil
 }

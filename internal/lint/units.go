@@ -1,0 +1,441 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Units is a declarative physical-dimension checker. The simulator
+// mixes Kelvin-style absolute temperatures with °C fields, GHz with the
+// centi-GHz RunKey encoding, and W with mW — exactly the class of
+// silent unit bug that corrupted early 3D-thermal studies. The analyzer
+// reads a manifest (internal/lint/units.conf at the module root)
+// mapping defined types, struct fields, function parameters, results
+// and package-level variables to dimension tags, then flags
+// cross-dimension assignment, additive arithmetic, comparison, argument
+// passing, returns and direct conversions between dimensioned types.
+//
+// Dimension inference is deliberately shallow: multiplication and
+// division clear the dimension (ratios are dimensionless), and an
+// expression with no declared dimension is never flagged. Conversions
+// to plain numeric types (float64(x)) keep the operand's dimension, so
+// laundering a Celsius through float64 into a Kelvin slot is still
+// caught; the sanctioned affine conversions carry a reasoned
+// //lint:ignore units directive.
+var Units = &Analyzer{
+	Name:      "units",
+	Doc:       "cross-dimension assignment/arithmetic per the units.conf manifest",
+	RunModule: runUnits,
+}
+
+// unitsConfRel is the manifest location relative to the module root.
+const unitsConfRel = "internal/lint/units.conf"
+
+// A unitsTable is the parsed manifest.
+type unitsTable struct {
+	types   map[string]string // "pkg.Type" → dim
+	fields  map[string]string // "pkg.Type.Field" → dim
+	params  map[string]string // funcKey + ".param" → dim
+	results map[string]string // funcKey → dim (single-result functions)
+	vars    map[string]string // "pkg.Name" (package-level var or const) → dim
+}
+
+func newUnitsTable() *unitsTable {
+	return &unitsTable{
+		types:   map[string]string{},
+		fields:  map[string]string{},
+		params:  map[string]string{},
+		results: map[string]string{},
+		vars:    map[string]string{},
+	}
+}
+
+// parseUnitsConf parses the manifest. Lines are
+//
+//	<kind> <key> <dimension>
+//
+// with kind ∈ {type, field, param, return, var}, # comments and blank
+// lines allowed. Malformed lines are findings, not fatal errors, so a
+// broken manifest cannot silently disable the other analyzers.
+func parseUnitsConf(data []byte, filename string) (*unitsTable, []Finding) {
+	t := newUnitsTable()
+	var bad []Finding
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		malformed := func(msg string) {
+			bad = append(bad, Finding{
+				Check:   "units",
+				Pos:     token.Position{Filename: filename, Line: i + 1},
+				Message: fmt.Sprintf("bad manifest line: %s", msg),
+			})
+		}
+		if len(fields) != 3 {
+			malformed("want `<kind> <key> <dimension>`")
+			continue
+		}
+		kind, key, dim := fields[0], fields[1], fields[2]
+		var m map[string]string
+		switch kind {
+		case "type":
+			m = t.types
+		case "field":
+			m = t.fields
+		case "param":
+			m = t.params
+		case "return":
+			m = t.results
+		case "var":
+			m = t.vars
+		default:
+			malformed(fmt.Sprintf("unknown kind %q (want type/field/param/return/var)", kind))
+			continue
+		}
+		if prev, dup := m[key]; dup && prev != dim {
+			malformed(fmt.Sprintf("%s %s redeclared as %s (was %s)", kind, key, dim, prev))
+			continue
+		}
+		m[key] = dim
+	}
+	return t, bad
+}
+
+func runUnits(mp *ModulePass) {
+	if mp.Dir == "" {
+		return // fixture runs exercise the checker via runUnitsTable
+	}
+	conf := filepath.Join(mp.Dir, filepath.FromSlash(unitsConfRel))
+	data, err := os.ReadFile(conf)
+	if err != nil {
+		return // no manifest, nothing to enforce
+	}
+	table, bad := parseUnitsConf(data, unitsConfRel)
+	for _, f := range bad {
+		mp.report(f)
+	}
+	runUnitsTable(mp, table)
+}
+
+// runUnitsTable applies the dimension checks to every package.
+func runUnitsTable(mp *ModulePass, table *unitsTable) {
+	for _, pkg := range mp.Pkgs {
+		u := &unitsCtx{mp: mp, t: table, pkg: pkg, paramDims: map[*types.Var]string{}}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					u.checkFunc(d)
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, v := range vs.Values {
+								u.checkExpr(v)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// unitsCtx is the per-package checking state.
+type unitsCtx struct {
+	mp  *ModulePass
+	t   *unitsTable
+	pkg *Package
+	// paramDims carries the manifest dimensions of the enclosing
+	// function's parameters while its body is walked.
+	paramDims map[*types.Var]string
+	// resultDim is the enclosing function's declared result dimension.
+	resultDim string
+}
+
+// funcKey names a function or method the way the manifest does:
+// pkg.Func or pkg.Type.Method.
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	key := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			key += named.Obj().Name() + "."
+		}
+	}
+	return key + fn.Name()
+}
+
+// namedOf unwraps pointers to the underlying named type, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// typeDim returns the manifest dimension of a named type.
+func (u *unitsCtx) typeDim(t types.Type) string {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return u.t.types[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// fieldDim returns the manifest dimension of a struct field selection.
+func (u *unitsCtx) fieldDim(recv types.Type, field string) string {
+	named := namedOf(recv)
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return u.t.fields[named.Obj().Pkg().Path()+"."+named.Obj().Name()+"."+field]
+}
+
+// dim infers the dimension of an expression, "" when unknown. It never
+// reports; the check walk does.
+func (u *unitsCtx) dim(e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := u.pkg.Info.Uses[e]; obj != nil {
+			if v, ok := obj.(*types.Var); ok {
+				if d := u.paramDims[v]; d != "" {
+					return d
+				}
+			}
+			if d := u.objVarDim(obj); d != "" {
+				return d
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := u.pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if d := u.fieldDim(sel.Recv(), sel.Obj().Name()); d != "" {
+				return d
+			}
+		} else if obj := u.pkg.Info.Uses[e.Sel]; obj != nil {
+			if d := u.objVarDim(obj); d != "" {
+				return d
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return u.dim(e.X)
+		}
+		return ""
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			if d := u.dim(e.X); d != "" {
+				return d
+			}
+			return u.dim(e.Y)
+		}
+		return "" // ×, ÷, shifts, …: ratios and products are other dimensions
+	case *ast.CallExpr:
+		if tv, ok := u.pkg.Info.Types[e.Fun]; ok && tv.IsType() {
+			if td := u.typeDim(tv.Type); td != "" {
+				return td
+			}
+			if len(e.Args) == 1 {
+				return u.dim(e.Args[0]) // float64(x) keeps x's dimension
+			}
+			return ""
+		}
+		if fn := calleeFunc(u.pkg.Info, e); fn != nil {
+			if d := u.t.results[funcKey(fn)]; d != "" {
+				return d
+			}
+		}
+	}
+	if tv, ok := u.pkg.Info.Types[e]; ok && tv.Type != nil {
+		return u.typeDim(tv.Type)
+	}
+	return ""
+}
+
+// objVarDim looks up a package-level var or const in the manifest.
+func (u *unitsCtx) objVarDim(obj types.Object) string {
+	switch obj.(type) {
+	case *types.Var, *types.Const:
+	default:
+		return ""
+	}
+	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	return u.t.vars[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// calleeFunc resolves a call's static callee, nil for calls through
+// function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkFunc walks one function declaration with its parameter and
+// result dimensions in scope.
+func (u *unitsCtx) checkFunc(d *ast.FuncDecl) {
+	if d.Body == nil {
+		return
+	}
+	fn, ok := u.pkg.Info.Defs[d.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	key := funcKey(fn)
+	sig := fn.Type().(*types.Signature)
+	saved := u.paramDims
+	u.paramDims = map[*types.Var]string{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if d := u.t.params[key+"."+p.Name()]; d != "" {
+			u.paramDims[p] = d
+		}
+	}
+	savedRes := u.resultDim
+	u.resultDim = u.t.results[key]
+	u.checkExpr(d.Body)
+	u.paramDims = saved
+	u.resultDim = savedRes
+}
+
+// checkExpr walks a subtree reporting every cross-dimension use.
+func (u *unitsCtx) checkExpr(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				a, b := u.dim(n.X), u.dim(n.Y)
+				if a != "" && b != "" && a != b {
+					u.mp.Reportf(n.Pos(), "%s mixes dimensions %s and %s", n.Op, a, b)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			switch n.Tok {
+			case token.ASSIGN, token.ADD_ASSIGN, token.SUB_ASSIGN:
+			default:
+				return true
+			}
+			for i := range n.Lhs {
+				ld, rd := u.dim(n.Lhs[i]), u.dim(n.Rhs[i])
+				if ld != "" && rd != "" && ld != rd {
+					u.mp.Reportf(n.Pos(), "assignment of %s value to %s target", rd, ld)
+				}
+			}
+		case *ast.CallExpr:
+			u.checkCall(n)
+		case *ast.ReturnStmt:
+			if u.resultDim != "" && len(n.Results) == 1 {
+				if rd := u.dim(n.Results[0]); rd != "" && rd != u.resultDim {
+					u.mp.Reportf(n.Pos(), "returning %s value from function declared to return %s", rd, u.resultDim)
+				}
+			}
+		case *ast.CompositeLit:
+			u.checkCompositeLit(n)
+		}
+		return true
+	})
+}
+
+// checkCall verifies conversions between dimensioned types and the
+// dimensions of arguments against the callee's declared parameters.
+func (u *unitsCtx) checkCall(call *ast.CallExpr) {
+	if tv, ok := u.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		td, ad := u.typeDim(tv.Type), u.dim(call.Args[0])
+		if td != "" && ad != "" && td != ad {
+			u.mp.Reportf(call.Pos(), "conversion of %s value to %s type; go through the sanctioned conversion helper", ad, td)
+		}
+		return
+	}
+	fn := calleeFunc(u.pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	key := funcKey(fn)
+	n := sig.Params().Len()
+	for i, arg := range call.Args {
+		if i >= n || (sig.Variadic() && i >= n-1) {
+			break
+		}
+		p := sig.Params().At(i)
+		pd := u.t.params[key+"."+p.Name()]
+		if pd == "" {
+			pd = u.typeDim(p.Type())
+		}
+		if pd == "" {
+			continue
+		}
+		if ad := u.dim(arg); ad != "" && ad != pd {
+			u.mp.Reportf(arg.Pos(), "argument %s of %s wants %s, got %s", p.Name(), fn.Name(), pd, ad)
+		}
+	}
+}
+
+// checkCompositeLit verifies dimensioned struct fields in literals.
+func (u *unitsCtx) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := u.pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, el := range lit.Elts {
+		var fieldName string
+		value := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			id, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			fieldName, value = id.Name, kv.Value
+		} else if i < st.NumFields() {
+			fieldName = st.Field(i).Name()
+		} else {
+			continue
+		}
+		fd := u.fieldDim(tv.Type, fieldName)
+		if fd == "" {
+			continue
+		}
+		if vd := u.dim(value); vd != "" && vd != fd {
+			u.mp.Reportf(value.Pos(), "field %s wants %s, got %s", fieldName, fd, vd)
+		}
+	}
+}

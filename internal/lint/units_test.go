@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseUnitsConf(t *testing.T) {
+	table, bad := parseUnitsConf([]byte(`
+# comment
+type a/b.Celsius degC   # trailing comment
+field a/b.Probe.TempC degC
+param a/b.Set.target degC
+return a/b.Ambient K
+var a/b.Zero K
+
+type a/b.Celsius degC
+type a/b.Celsius K
+bogus-kind a/b.X W
+type too-few
+`), "units.conf")
+	if table.types["a/b.Celsius"] != "degC" {
+		t.Errorf("type dim = %q, want degC", table.types["a/b.Celsius"])
+	}
+	if table.fields["a/b.Probe.TempC"] != "degC" || table.params["a/b.Set.target"] != "degC" ||
+		table.results["a/b.Ambient"] != "K" || table.vars["a/b.Zero"] != "K" {
+		t.Error("manifest kinds not routed to their tables")
+	}
+	// Exact redeclaration is fine; conflicting redeclaration, unknown
+	// kind, and short lines are findings.
+	if len(bad) != 3 {
+		t.Fatalf("%d malformed-line findings, want 3: %v", len(bad), bad)
+	}
+	for _, f := range bad {
+		if f.Check != "units" {
+			t.Errorf("malformed line reported as %q, want units", f.Check)
+		}
+	}
+	if !strings.Contains(bad[0].Message, "redeclared") {
+		t.Errorf("conflict finding %q should say redeclared", bad[0].Message)
+	}
+}
+
+// unitsFindings runs the dimension checks over one fixture package with
+// an in-memory manifest.
+func unitsFindings(t *testing.T, conf, src string) []Finding {
+	t.Helper()
+	pkgs := []*Package{checkFixture(t, modelPath, src)}
+	table, bad := parseUnitsConf([]byte(conf), "units.conf")
+	if len(bad) != 0 {
+		t.Fatalf("fixture manifest is malformed: %v", bad)
+	}
+	ignores, _ := collectIgnores(fixFset, pkgs)
+	var got []Finding
+	mp := &ModulePass{
+		Analyzer: Units,
+		Fset:     fixFset,
+		Pkgs:     pkgs,
+		ignores:  ignores,
+		report: func(f Finding) {
+			if !ignores.suppressed(f) {
+				got = append(got, f)
+			}
+		},
+	}
+	runUnitsTable(mp, table)
+	sortFindings(got)
+	return got
+}
+
+const unitsConfFixture = `
+type ` + modelPath + `.Celsius degC
+type ` + modelPath + `.Kelvin K
+field ` + modelPath + `.Probe.TempC degC
+param ` + modelPath + `.SetPoint.target degC
+return ` + modelPath + `.Reading degC
+var ` + modelPath + `.ZeroK K
+`
+
+func TestUnitsCrossDimensionUses(t *testing.T) {
+	fs := unitsFindings(t, unitsConfFixture, `
+package fixture
+
+type Celsius float64
+
+type Kelvin float64
+
+type Probe struct{ TempC float64 }
+
+const ZeroK = 273.15
+
+func SetPoint(target float64) {}
+
+// Reading launders a Kelvin out of a function declared (by manifest) to
+// return Celsius.
+func Reading(k Kelvin) float64 { return float64(k) }
+
+func Mixed(c Celsius, k Kelvin, p *Probe) {
+	_ = float64(c) + float64(k) // additive mix: float64() keeps the dimension
+	p.TempC = float64(k)        // K value into a degC field
+	SetPoint(float64(k))        // K argument for a degC parameter
+	_ = Kelvin(c)               // direct cross-scale conversion
+}
+`)
+	if len(fs) != 5 {
+		t.Fatalf("%d findings, want 5:\n%v", len(fs), fs)
+	}
+	for i, want := range []string{
+		"returning K value from function declared to return degC",
+		"+ mixes dimensions degC and K",
+		"assignment of K value to degC target",
+		"argument target of SetPoint wants degC, got K",
+		"conversion of degC value to K type",
+	} {
+		if !strings.Contains(fs[i].Message, want) {
+			t.Errorf("finding %d = %q, want substring %q", i, fs[i].Message, want)
+		}
+	}
+}
+
+func TestUnitsRatiosAndScalesAreClean(t *testing.T) {
+	wantChecks(t, unitsFindings(t, unitsConfFixture, `
+package fixture
+
+type Celsius float64
+
+type Kelvin float64
+
+type Probe struct{ TempC float64 }
+
+const ZeroK = 273.15
+
+func SetPoint(target float64) {}
+
+func Reading(k Kelvin) float64 { return float64(k) / 1.0 }
+
+func Sound(a, b Celsius, k Kelvin) {
+	_ = a + b                        // same dimension
+	_ = float64(a) / float64(k)      // ratio clears the dimension
+	_ = float64(k) * 1e3             // scaling clears the dimension
+	SetPoint(float64(a))             // degC argument, degC parameter
+	_ = Celsius(float64(b))          // round-trip through float64 is same-dim
+	_ = ZeroK + Kelvin(2)            // manifest var matches typed operand
+}
+`))
+}
+
+func TestUnitsCompositeLiteralFields(t *testing.T) {
+	fs := unitsFindings(t, unitsConfFixture, `
+package fixture
+
+type Celsius float64
+
+type Kelvin float64
+
+type Probe struct{ TempC float64 }
+
+func Build(k Kelvin) (Probe, Probe) {
+	return Probe{TempC: float64(k)}, Probe{float64(k)}
+}
+`)
+	if len(fs) != 2 {
+		t.Fatalf("%d findings, want keyed and positional literal fields flagged:\n%v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Message, "field TempC wants degC, got K") {
+			t.Errorf("finding %q, want field mismatch", f.Message)
+		}
+	}
+}
+
+func TestUnitsIgnoreDirective(t *testing.T) {
+	wantChecks(t, unitsFindings(t, unitsConfFixture, `
+package fixture
+
+type Celsius float64
+
+type Kelvin float64
+
+func Convert(c Celsius) Kelvin {
+	//lint:ignore units sanctioned affine conversion fixture
+	return Kelvin(c)
+}
+`))
+}

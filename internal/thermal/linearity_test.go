@@ -55,7 +55,7 @@ func TestSuperposition(t *testing.T) {
 		a := sA.CellC(l, y, x) - cfg.AmbientC
 		b := sB.CellC(l, y, x) - cfg.AmbientC
 		ab := sAB.CellC(l, y, x) - cfg.AmbientC
-		if math.Abs(ab-(a+b)) > 0.05*math.Max(1, ab) {
+		if math.Abs(float64(ab-(a+b))) > 0.05*math.Max(1, float64(ab)) {
 			t.Errorf("superposition violated at (%d,%d,%d): %.3f vs %.3f+%.3f", l, y, x, ab, a, b)
 		}
 	}
@@ -82,8 +82,8 @@ func TestPowerBalance(t *testing.T) {
 	var out float64
 	for y := 0; y < cfg.Ny; y++ {
 		for x := 0; x < cfg.Nx; x++ {
-			out += s.gSink * (s.CellC(0, y, x) - cfg.AmbientC)
-			out += s.gPack * (s.CellC(s.nl-1, y, x) - cfg.AmbientC)
+			out += s.gSink * float64(s.CellC(0, y, x)-cfg.AmbientC)
+			out += s.gPack * float64(s.CellC(s.nl-1, y, x)-cfg.AmbientC)
 		}
 	}
 	if math.Abs(out-P) > 0.02*P {

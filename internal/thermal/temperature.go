@@ -1,0 +1,36 @@
+package thermal
+
+// This file defines the temperature scales. The solver, the DTM
+// controller and the experiment layer all traffic in temperatures, and
+// a bare float64 cannot say whether a value is an absolute Kelvin, a
+// Celsius reading or a Kelvin-per-watt resistance — exactly the class
+// of silent mix-up the r3dlint `units` analyzer polices. Celsius and
+// Kelvin are defined types so the type checker rejects accidental
+// cross-scale arithmetic outright, and the units manifest
+// (internal/lint/units.conf) anchors the remaining float64 plumbing.
+//
+// Differences of two Celsius values are Celsius-typed too; a ΔT is
+// scale-free (1 °C step == 1 K step), so dividing two differences for
+// a dimensionless ratio is sound and the affine offset only matters in
+// the sanctioned conversions below.
+
+// Celsius is a temperature on the Celsius scale.
+type Celsius float64
+
+// Kelvin is an absolute temperature.
+type Kelvin float64
+
+// ZeroCelsiusK is the Kelvin value of 0 °C.
+const ZeroCelsiusK Kelvin = 273.15
+
+// Kelvin converts a Celsius reading to absolute temperature.
+func (c Celsius) Kelvin() Kelvin {
+	//lint:ignore units sanctioned affine conversion between temperature scales
+	return Kelvin(c) + ZeroCelsiusK
+}
+
+// Celsius converts an absolute temperature to the Celsius scale.
+func (k Kelvin) Celsius() Celsius {
+	//lint:ignore units sanctioned affine conversion between temperature scales
+	return Celsius(k - ZeroCelsiusK)
+}

@@ -32,7 +32,6 @@ const (
 	CuResistivity  = 0.0833 // (m·K)/W — composite metal+ILD layer
 	D2DResistivity = 0.0166 // (m·K)/W — accounts for air cavities and via density
 	GridResolution = 50
-	AmbientC       = 47.0
 
 	// Heat-spreader and sink-base plates (HotSpot's package model): a
 	// 1 mm copper spreader and a 7 mm sink base under the bulk silicon.
@@ -45,6 +44,9 @@ const (
 	SinkBaseUm         = 7000.0
 	CuPlateResistivity = 0.0008
 )
+
+// AmbientC is the paper's 47 °C ambient.
+const AmbientC Celsius = 47.0
 
 // Layer is one slab of the stack.
 type Layer struct {
@@ -71,7 +73,7 @@ type Config struct {
 	// top of the stack to ambient through the package/C4 side.
 	PackageResistanceKperW float64
 	// AmbientC is the ambient temperature.
-	AmbientC float64
+	AmbientC Celsius
 }
 
 // ReferenceSinkKperW is the heat-sink resistance of the 2d-a-sized die
@@ -174,6 +176,9 @@ type Solver struct {
 
 	temp  []float64 // [layer][y][x] flattened, °C
 	power []float64 // injected power per cell, W
+	// ambient mirrors cfg.AmbientC as a raw float64 so the inner solver
+	// loops stay conversion-free.
+	ambient float64
 
 	heatLayers []int
 }
@@ -183,12 +188,12 @@ func NewSolver(cfg Config) *Solver {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	s := &Solver{cfg: cfg, nl: len(cfg.Layers), nx: cfg.Nx, ny: cfg.Ny}
+	s := &Solver{cfg: cfg, nl: len(cfg.Layers), nx: cfg.Nx, ny: cfg.Ny, ambient: float64(cfg.AmbientC)}
 	n := s.nl * s.nx * s.ny
 	s.temp = make([]float64, n)
 	s.power = make([]float64, n)
 	for i := range s.temp {
-		s.temp[i] = cfg.AmbientC
+		s.temp[i] = s.ambient
 	}
 
 	cellWm := cfg.DieWmm / float64(cfg.Nx) * 1e-3 // m
@@ -272,8 +277,9 @@ func (s *Solver) TotalPower() float64 {
 // Solve iterates red-black SOR until the maximum update falls below
 // tolC (°C) or maxIters is reached, returning the iteration count. The
 // previous solution is kept as the starting point (warm start).
-func (s *Solver) Solve(tolC float64, maxIters int) int {
+func (s *Solver) Solve(tolC Celsius, maxIters int) int {
 	const omega = 1.85
+	tol := float64(tolC)
 	for it := 1; it <= maxIters; it++ {
 		var maxDelta float64
 		for parity := 0; parity < 2; parity++ {
@@ -289,7 +295,7 @@ func (s *Solver) Solve(tolC float64, maxIters int) int {
 							flow += g * s.temp[s.idx(l-1, y, x)]
 						} else {
 							gSum += s.gSink
-							flow += s.gSink * s.cfg.AmbientC
+							flow += s.gSink * s.ambient
 						}
 						if l < s.nl-1 {
 							g := s.gUp[l]
@@ -297,7 +303,7 @@ func (s *Solver) Solve(tolC float64, maxIters int) int {
 							flow += g * s.temp[s.idx(l+1, y, x)]
 						} else {
 							gSum += s.gPack
-							flow += s.gPack * s.cfg.AmbientC
+							flow += s.gPack * s.ambient
 						}
 						gl := s.gLat[l]
 						if x > 0 {
@@ -326,7 +332,7 @@ func (s *Solver) Solve(tolC float64, maxIters int) int {
 				}
 			}
 		}
-		if maxDelta < tolC {
+		if maxDelta < tol {
 			return it
 		}
 	}
@@ -335,7 +341,7 @@ func (s *Solver) Solve(tolC float64, maxIters int) int {
 
 // PeakC returns the maximum temperature over the given die's active
 // layer (die ordinal as in SetPower).
-func (s *Solver) PeakC(die int) float64 {
+func (s *Solver) PeakC(die int) Celsius {
 	l := s.heatLayers[die]
 	peak := math.Inf(-1)
 	for y := 0; y < s.ny; y++ {
@@ -345,12 +351,12 @@ func (s *Solver) PeakC(die int) float64 {
 			}
 		}
 	}
-	return peak
+	return Celsius(peak)
 }
 
 // PeakAllC returns the maximum temperature over all active layers.
-func (s *Solver) PeakAllC() float64 {
-	peak := math.Inf(-1)
+func (s *Solver) PeakAllC() Celsius {
+	peak := Celsius(math.Inf(-1))
 	for d := range s.heatLayers {
 		if t := s.PeakC(d); t > peak {
 			peak = t
@@ -360,10 +366,10 @@ func (s *Solver) PeakAllC() float64 {
 }
 
 // CellC returns the temperature of one cell.
-func (s *Solver) CellC(layer, y, x int) float64 { return s.temp[s.idx(layer, y, x)] }
+func (s *Solver) CellC(layer, y, x int) Celsius { return Celsius(s.temp[s.idx(layer, y, x)]) }
 
 // MeanC returns the average temperature of the given die's active layer.
-func (s *Solver) MeanC(die int) float64 {
+func (s *Solver) MeanC(die int) Celsius {
 	l := s.heatLayers[die]
 	var sum float64
 	for y := 0; y < s.ny; y++ {
@@ -371,5 +377,5 @@ func (s *Solver) MeanC(die int) float64 {
 			sum += s.temp[s.idx(l, y, x)]
 		}
 	}
-	return sum / float64(s.nx*s.ny)
+	return Celsius(sum / float64(s.nx*s.ny))
 }

@@ -45,7 +45,7 @@ func TestValidate(t *testing.T) {
 func TestZeroPowerIsAmbient(t *testing.T) {
 	s := NewSolver(Stack2D(7.2, 7.2))
 	s.Solve(1e-6, 5000)
-	if got := s.PeakAllC(); math.Abs(got-AmbientC) > 1e-3 {
+	if got := s.PeakAllC(); math.Abs(float64(got-AmbientC)) > 1e-3 {
 		t.Errorf("unpowered chip at %.3f °C, want ambient %v", got, AmbientC)
 	}
 }
@@ -72,9 +72,9 @@ func TestUniformPowerMatchesAnalyticSink(t *testing.T) {
 		}
 		rBelow += l.Resistivity * l.ThicknessUm * 1e-6 / area
 	}
-	want := cfg.AmbientC + P*rBelow
+	want := cfg.AmbientC + Celsius(P*rBelow)
 	got := s.MeanC(0)
-	if math.Abs(got-want) > 1.0 {
+	if math.Abs(float64(got-want)) > 1.0 {
 		t.Errorf("uniform-power mean %.2f °C, want ≈%.2f", got, want)
 	}
 }
@@ -135,7 +135,7 @@ func TestLinearity(t *testing.T) {
 	s2.SetPower(0, uniformGrid(cfg.Nx, cfg.Ny, 30))
 	s2.Solve(1e-6, 30000)
 	d30 := s2.PeakAllC() - cfg.AmbientC
-	if math.Abs(d30-3*d10) > 0.05*d30 {
+	if math.Abs(float64(d30-3*d10)) > 0.05*float64(d30) {
 		t.Errorf("non-linear response: ΔT(30W)=%.2f vs 3×ΔT(10W)=%.2f", d30, 3*d10)
 	}
 }

@@ -123,12 +123,12 @@ func (t *Transient) Step(dtPs float64) error {
 					if l > 0 {
 						flow += s.gUp[l-1] * (s.temp[s.idx(l-1, y, x)] - ti)
 					} else {
-						flow += s.gSink * (s.cfg.AmbientC - ti)
+						flow += s.gSink * (s.ambient - ti)
 					}
 					if l < s.nl-1 {
 						flow += s.gUp[l] * (s.temp[s.idx(l+1, y, x)] - ti)
 					} else {
-						flow += s.gPack * (s.cfg.AmbientC - ti)
+						flow += s.gPack * (s.ambient - ti)
 					}
 					gl := s.gLat[l]
 					if x > 0 {

@@ -54,7 +54,7 @@ func TestSteadyStateIsTransientFixedPoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	after := tr.Solver().PeakAllC()
-	if math.Abs(after-before) > 0.05 {
+	if math.Abs(float64(after-before)) > 0.05 {
 		t.Errorf("steady state drifted under transient dynamics: %.3f → %.3f", before, after)
 	}
 }

@@ -1,29 +1,95 @@
 package r3d
 
 import (
+	"strings"
+	"sync"
 	"testing"
 
 	"r3d/internal/lint"
 )
 
+// loadOnce loads and analyzes the module a single time for every test
+// in this file (the source-importer type-check of the whole module is
+// the expensive part).
+var loadOnce = sync.OnceValues(func() (*lintRun, error) {
+	m, findings, err := lint.RunModule(".")
+	if err != nil {
+		return nil, err
+	}
+	return &lintRun{m: m, findings: findings}, nil
+})
+
+type lintRun struct {
+	m        *lint.Module
+	findings []lint.Finding
+}
+
 // TestLintClean runs the full r3dlint determinism/hygiene suite over
 // every non-test package of the module and fails on any unsuppressed
 // finding. This is the tier-1 enforcement hook: introducing a map
-// iteration, global-RNG call, wall-clock read, exact float comparison
-// or dropped error without a reasoned //lint:ignore breaks
-// `go test ./...`, not just a separately-run linter.
+// iteration, global-RNG call, wall-clock read (even laundered through
+// wrapper functions — dettaint follows the call graph), exact float
+// comparison, dropped error, cross-dimension unit mix or racy goroutine
+// capture without a reasoned //lint:ignore breaks `go test ./...`, not
+// just a separately-run linter.
 func TestLintClean(t *testing.T) {
-	m, findings, err := lint.RunModule(".")
+	r, err := loadOnce()
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	if len(m.Pkgs) < 20 {
-		t.Fatalf("loaded only %d packages; loader is missing parts of the module", len(m.Pkgs))
+	if len(r.m.Pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing parts of the module", len(r.m.Pkgs))
 	}
-	for _, f := range findings {
+	for _, f := range r.findings {
 		t.Errorf("%s", f)
 	}
 	if t.Failed() {
 		t.Logf("fix the findings above or suppress them with `//lint:ignore <check> <reason>` (see README \"Determinism & lint suite\")")
+	}
+}
+
+// TestLintModelCodeHasEmptyBaseline pins the strictest gate where it
+// matters most: model code (internal/ packages) is held to an EMPTY
+// baseline, so `-baseline` can never become a dumping ground that lets
+// new nondeterminism into the simulator core.
+func TestLintModelCodeHasEmptyBaseline(t *testing.T) {
+	r, err := loadOnce()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	var model []lint.Finding
+	for _, f := range r.findings {
+		if strings.HasPrefix(lint.Relativize(r.m.Dir, f).Pos.Filename, "internal/") {
+			model = append(model, f)
+		}
+	}
+	empty := lint.NewBaseline(nil)
+	regressions, stale := empty.Apply(r.m.Dir, model)
+	if len(stale) != 0 {
+		t.Errorf("empty baseline reported stale entries: %v", stale)
+	}
+	for _, f := range regressions {
+		t.Errorf("model-code finding not covered by a reasoned directive: %s", f)
+	}
+}
+
+// TestLintJSONIsByteStable re-runs the suite over the already-loaded
+// packages and asserts the -json rendering is byte-identical — the
+// property that makes baseline files and CI diffs trustworthy.
+func TestLintJSONIsByteStable(t *testing.T) {
+	r, err := loadOnce()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	first, err := lint.MarshalJSON(r.m.Dir, lint.RunDir(r.m.Dir, r.m.Pkgs, lint.Analyzers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := lint.MarshalJSON(r.m.Dir, lint.RunDir(r.m.Dir, r.m.Pkgs, lint.Analyzers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("JSON findings differ between identical runs over the same loaded module")
 	}
 }
