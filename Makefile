@@ -4,14 +4,14 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-strict lint-json race race-engine fmt campaign-smoke bench-fast
+.PHONY: all build test lint lint-strict lint-json race race-engine fmt campaign-smoke bench-fast crash-test
 
 all: build lint test
 
 build:
 	$(GO) build ./...
 
-test:
+test: crash-test
 	$(GO) test ./...
 
 # gofmt -l prints offending files but always exits 0; fail if it
@@ -69,6 +69,30 @@ campaign-smoke:
 	cmp "$$tmp/fresh.json" "$$tmp/resumed.json" || { echo "campaign-smoke: resume not byte-identical"; exit 1; }; \
 	grep -q '"status": "hung"' "$$tmp/resumed.json" || { echo "campaign-smoke: livelock trial not hung"; exit 1; }; \
 	echo "campaign-smoke: OK"
+
+# Crash-safety gate (runs as part of `make test`): SIGKILL a journaled,
+# checkpointed campaign mid-run — no drain, no final flush — then
+# restore and require the final aggregate to be byte-identical to an
+# uninterrupted run of the same grid. Exercises the torn-tail journal
+# recovery, the snapshot/journal offset handshake and the restore
+# merge, end to end through the real binary.
+crash-test: GRID = -bench gzip,mesa -seeds 2 -leadrates 40,80 -n 60000 -workers 2 -json
+crash-test:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/r3dfault" ./cmd/r3dfault || exit 1; \
+	"$$tmp/r3dfault" $(GRID) > "$$tmp/baseline.json" || exit 1; \
+	"$$tmp/r3dfault" $(GRID) -journal "$$tmp/run.jsonl" -checkpoint "$$tmp/run.ckpt" -checkpoint-every 2 >/dev/null 2>&1 & pid=$$!; \
+	for i in $$(seq 1 400); do \
+		n=$$(wc -l < "$$tmp/run.jsonl" 2>/dev/null || echo 0); \
+		[ "$$n" -ge 3 ] && break; \
+		sleep 0.05; \
+	done; \
+	kill -9 $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; \
+	lines=$$(wc -l < "$$tmp/run.jsonl"); \
+	[ "$$lines" -lt 9 ] || { echo "crash-test: campaign finished before SIGKILL landed; enlarge the grid"; exit 1; }; \
+	"$$tmp/r3dfault" $(GRID) -journal "$$tmp/run.jsonl" -checkpoint "$$tmp/run.ckpt" -restore > "$$tmp/restored.json" 2> "$$tmp/restore.err" || { echo "crash-test: restore failed"; cat "$$tmp/restore.err"; exit 1; }; \
+	cmp "$$tmp/baseline.json" "$$tmp/restored.json" || { echo "crash-test: restored aggregate not byte-identical to uninterrupted run"; exit 1; }; \
+	echo "crash-test: OK (SIGKILLed at $$lines journal lines, restore byte-identical)"
 
 # Engine smoke: the fast suite rendered serially and across $(nproc)
 # workers must be byte-identical on stdout; the parallel run prints its

@@ -10,9 +10,19 @@
 //	r3dfault -bench gzip -seeds 2 -journal run.jsonl            # first run
 //	r3dfault -bench gzip -seeds 2 -journal run.jsonl -resume    # after ^C
 //
+// Crash safety: -journal makes every completed trial durable; adding
+// -checkpoint layers periodic snapshots of the aggregate on top, so a
+// later -restore replays only the journal suffix written after the last
+// snapshot. SIGINT/SIGTERM drain gracefully — in-flight trials finish,
+// the journal is flushed, a final snapshot commits — and the process
+// exits 130 with a resumable state (a second signal exits immediately).
+// -shadow re-verifies a deterministic fraction of restored trials by
+// re-running them and byte-comparing the outcomes (the paper's RMT idea
+// applied to the harness's own state).
+//
 // Trial failures are data: a campaign whose trials hang or crash still
 // reports them in the aggregate and exits 0. Only harness errors (bad
-// flags, journal mismatch, I/O) exit non-zero.
+// flags, journal mismatch, a foreign checkpoint, I/O) exit non-zero.
 package main
 
 import (
@@ -20,9 +30,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"r3d/internal/campaign"
 	"r3d/internal/tech"
@@ -49,6 +61,10 @@ func main() {
 	retries := flag.Int("retries", 1, "max retries for trials the watchdog reports hung")
 	journal := flag.String("journal", "", "JSONL journal path (enables interruption-safe runs)")
 	resume := flag.Bool("resume", false, "reuse completed trials from the journal")
+	checkpoint := flag.String("checkpoint", "", "periodic aggregate-snapshot path (with -journal: restore replays only the post-snapshot suffix)")
+	ckptEvery := flag.Int("checkpoint-every", campaign.DefaultCheckpointEvery, "trials between snapshots")
+	restore := flag.Bool("restore", false, "restore from -checkpoint (and/or -journal), re-running only missing trials")
+	shadow := flag.Float64("shadow", 0, "fraction of restored trials to re-verify by re-execution (0..1)")
 	jsonOut := flag.Bool("json", false, "emit the aggregated report as JSON instead of a table")
 	noRetire := flag.Uint64("noretire", 0, "watchdog no-retire deadline in cycles (0 = default)")
 	wallTimeout := flag.Duration("walltimeout", 0, "host-clock stall guard per trial (0 = off; trades determinism of pathological runs for liveness)")
@@ -90,16 +106,46 @@ func main() {
 		specs = append(specs, sp)
 	}
 
+	// Graceful drain: the first SIGINT/SIGTERM closes stop — in-flight
+	// trials finish, the journal flushes, a final snapshot commits — and
+	// the run exits 130 resumable. A second signal aborts immediately
+	// (the journal still recovers everything already committed).
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		log.Print("signal: draining (in-flight trials finish; interrupt again to abort)")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+
 	rep, err := campaign.Run(campaign.Config{
-		Workers:      *workers,
-		MaxRetries:   *retries,
-		JournalPath:  *journal,
-		Resume:       *resume,
-		Watchdog:     campaign.Watchdog{NoProgressCycles: *noRetire},
-		StallTimeout: *wallTimeout,
+		Workers:         *workers,
+		MaxRetries:      *retries,
+		JournalPath:     *journal,
+		Resume:          *resume,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *ckptEvery,
+		Restore:         *restore,
+		ShadowFraction:  *shadow,
+		Stop:            stop,
+		Watchdog:        campaign.Watchdog{NoProgressCycles: *noRetire},
+		StallTimeout:    *wallTimeout,
 	}, specs)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, note := range rep.Notes {
+		fmt.Fprintln(os.Stderr, note)
+	}
+	for _, d := range rep.ShadowDivergences {
+		fmt.Fprintf(os.Stderr, "SHADOW DIVERGENCE %s:\n  stored:     %s\n  recomputed: %s\n", d.ID, d.Stored, d.Recomputed)
+	}
+	if rep.ShadowChecked > 0 {
+		fmt.Fprintf(os.Stderr, "shadow-verified %d restored trial(s), %d divergence(s)\n",
+			rep.ShadowChecked, len(rep.ShadowDivergences))
 	}
 
 	if *jsonOut {
@@ -110,9 +156,12 @@ func main() {
 		if _, err := os.Stdout.Write(enc); err != nil {
 			log.Fatal(err)
 		}
-		return
+	} else {
+		fmt.Print(rep.Table())
 	}
-	fmt.Print(rep.Table())
+	if rep.Interrupted {
+		os.Exit(130)
+	}
 }
 
 func splitList(s string) []string {

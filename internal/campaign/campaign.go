@@ -17,19 +17,37 @@
 //   - trials that hit the watchdog under heavy rate acceleration may be
 //     retried a bounded number of times with a deterministically
 //     perturbed seed;
-//   - every completed trial is journaled as one JSONL line, so an
-//     interrupted campaign resumes from the partial journal and the
-//     final aggregate is byte-identical to an uninterrupted run;
+//   - every completed trial is journaled as one CRC-guarded JSONL line,
+//     so an interrupted campaign resumes from the partial journal and
+//     the final aggregate is byte-identical to an uninterrupted run;
+//   - the aggregate state is periodically snapshotted through the
+//     internal/ckpt layer (atomic commits, automatic rollback to the
+//     previous snapshot), so restore replays only the journal suffix
+//     written after the last snapshot;
+//   - closing Config.Stop drains gracefully: in-flight trials finish,
+//     the journal is flushed, and a final snapshot commits before Run
+//     returns a partial (resumable) report;
+//   - restored outcomes can be shadow-verified RMT-style: a
+//     deterministic fraction is re-executed from scratch in the worker
+//     pool and byte-compared against the stored result, with mismatches
+//     surfaced as structured divergence findings instead of silently
+//     trusted;
 //   - aggregation orders trials by ID, never by completion order, so
 //     the repo's determinism guarantee extends to parallel runs.
 package campaign
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"r3d/internal/core"
+	"r3d/internal/detmap"
 	"r3d/internal/fault"
 	"r3d/internal/nuca"
 	"r3d/internal/ooo"
@@ -173,7 +191,36 @@ type Config struct {
 	// are reused instead of re-running their trials.
 	JournalPath string
 	Resume      bool
-	Watchdog    Watchdog
+	// CheckpointPath enables periodic snapshots of the aggregate state
+	// ("" disables): every CheckpointEvery completed trials, and once
+	// more at the end of the run, the full outcome set plus the journal
+	// offset it covers commits atomically through internal/ckpt.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot cadence in completed trials (0
+	// selects DefaultCheckpointEvery). Smaller values shorten the
+	// journal suffix a restore must replay at the cost of more snapshot
+	// I/O.
+	CheckpointEvery int
+	// Restore loads CheckpointPath before running — rolling back to the
+	// previous snapshot if the current one is torn or corrupt — and then
+	// replays only the journal suffix written after it. A snapshot for a
+	// different grid or build fails loudly. Restore implies journal
+	// resume.
+	Restore bool
+	// ShadowFraction in (0,1] enables RMT-style self-verification of
+	// restored state: that fraction of restored outcomes — selected
+	// deterministically by trial-ID hash — is re-executed from scratch
+	// in the worker pool and byte-compared against the stored result.
+	// Divergences land in Report.ShadowDivergences; the stored value
+	// still feeds the aggregate (the shadow checker detects, it does not
+	// silently repair).
+	ShadowFraction float64
+	// Stop, when closed, drains the campaign gracefully: no new trials
+	// are dispatched, in-flight trials finish, the journal is flushed
+	// and a final snapshot commits. The returned report carries
+	// Interrupted=true and only the completed trials.
+	Stop     <-chan struct{}
+	Watchdog Watchdog
 	// StallTimeout is a host-clock last resort against harness bugs: a
 	// trial goroutine that produces no outcome within this wall time is
 	// abandoned and reported hung with ReasonWallClock. It is off (0)
@@ -190,6 +237,11 @@ type Config struct {
 // attempt number.
 const retrySeedStride = 1_000_003
 
+// DefaultCheckpointEvery is the snapshot cadence when Config leaves
+// CheckpointEvery zero: frequent enough that a kill loses little replay
+// work, rare enough that snapshot I/O stays invisible next to trials.
+const DefaultCheckpointEvery = 4
+
 type runner struct {
 	cfg     Config
 	wd      Watchdog
@@ -198,8 +250,11 @@ type runner struct {
 
 // Run executes the campaign and aggregates a Report ordered by trial
 // ID. The returned error reports harness failures only (duplicate IDs,
-// journal I/O or mismatch); trial failures — panics, wedges — are data,
-// carried in the report, and the caller should exit 0 on them.
+// journal I/O or mismatch, a foreign checkpoint); trial failures —
+// panics, wedges — are data, carried in the report, and the caller
+// should exit 0 on them. A graceful drain (Config.Stop) is not an
+// error either: the report simply carries Interrupted plus the trials
+// that completed.
 func Run(cfg Config, specs []TrialSpec) (*Report, error) {
 	seen := make(map[string]bool, len(specs))
 	for _, sp := range specs {
@@ -220,53 +275,244 @@ func Run(cfg Config, specs []TrialSpec) (*Report, error) {
 		workers = 1
 	}
 
-	var jr *journal
+	fp, err := gridFingerprint(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Restore order matters: the snapshot supplies the bulk of the
+	// state plus the journal offset it covers; the journal then replays
+	// only the suffix written after the snapshot. Outcomes journaled
+	// after the snapshot overwrite (identical, by determinism) snapshot
+	// entries harmlessly.
+	var notes []string
 	completed := map[string]TrialOutcome{}
-	if cfg.JournalPath != "" {
-		var err error
-		jr, completed, err = openJournal(cfg.JournalPath, specs, cfg.Resume)
+	var snapOffset int64
+	if cfg.Restore && cfg.CheckpointPath != "" {
+		snap, snapNotes, err := readCheckpoint(cfg.CheckpointPath, fp)
+		notes = append(notes, snapNotes...)
 		if err != nil {
 			return nil, err
+		}
+		if snap != nil {
+			for _, out := range snap.outcomes {
+				completed[out.ID] = out
+			}
+			snapOffset = snap.journalBytes
+			notes = append(notes, fmt.Sprintf("campaign: restored %d trial outcome(s) from checkpoint %s", len(snap.outcomes), cfg.CheckpointPath))
+		}
+	}
+	var jr *journal
+	if cfg.JournalPath != "" {
+		var fromJournal []TrialOutcome
+		var jnotes []string
+		jr, fromJournal, jnotes, err = openJournal(cfg.JournalPath, fp, cfg.Resume || cfg.Restore, snapOffset)
+		notes = append(notes, jnotes...)
+		if err != nil {
+			return nil, err
+		}
+		for _, out := range fromJournal {
+			completed[out.ID] = out
 		}
 	}
 
 	outcomes := make([]TrialOutcome, len(specs))
-	var pending []int
+	var pending, shadows []int
 	for i, sp := range specs {
-		if out, ok := completed[sp.ID]; ok {
-			outcomes[i] = out
+		out, ok := completed[sp.ID]
+		if !ok {
+			pending = append(pending, i)
 			continue
 		}
-		pending = append(pending, i)
+		outcomes[i] = out
+		if shadowEligible(cfg.ShadowFraction, out) {
+			shadows = append(shadows, i)
+		}
 	}
 
-	jobs := make(chan int)
+	st := &commitState{
+		jr:       jr,
+		path:     cfg.CheckpointPath,
+		fp:       fp,
+		every:    cfg.CheckpointEvery,
+		outcomes: completed,
+	}
+	if st.every <= 0 {
+		st.every = DefaultCheckpointEvery
+	}
+
+	// Real trials first, shadow re-verifications after: on a drained
+	// run, unfinished work beats unfinished double-checking.
+	type job struct {
+		idx    int
+		shadow bool
+	}
+	jobList := make([]job, 0, len(pending)+len(shadows))
+	for _, i := range pending {
+		jobList = append(jobList, job{idx: i})
+	}
+	for _, i := range shadows {
+		jobList = append(jobList, job{idx: i, shadow: true})
+	}
+
+	// Per-trial-index slots: every job owns its index exclusively, so
+	// workers write without locks (the same discipline outcomes uses).
+	divSlots := make([]ShadowDivergence, len(specs))
+	divHit := make([]bool, len(specs))
+	var shadowChecked atomic.Int64
+
+	jobs := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				out := r.trialWithTimeout(specs[i])
-				if jr != nil {
-					jr.append(out)
+			for j := range jobs {
+				if j.shadow {
+					shadowChecked.Add(1)
+					if d, ok := r.shadowCheck(specs[j.idx], outcomes[j.idx]); !ok {
+						divSlots[j.idx] = d
+						divHit[j.idx] = true
+					}
+					continue
 				}
-				outcomes[i] = out
+				out := r.trialWithTimeout(specs[j.idx])
+				outcomes[j.idx] = out
+				st.commit(out)
 			}
 		}()
 	}
-	for _, i := range pending {
-		jobs <- i
+	interrupted := false
+dispatch:
+	for _, jb := range jobList {
+		select {
+		case jobs <- jb:
+		case <-cfg.Stop:
+			interrupted = true
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
+	// Commit the final state: journal durable first, then the snapshot
+	// that references it — the ordering a restore depends on.
+	if jr != nil {
+		jr.sync()
+	}
+	st.mu.Lock()
+	if st.path != "" {
+		st.snapshotLocked()
+	}
+	notes = append(notes, st.notes...)
+	st.mu.Unlock()
 	if jr != nil {
 		if err := jr.close(); err != nil {
 			return nil, err
 		}
 	}
-	return buildReport(outcomes), nil
+
+	// A drained run reports only what completed; the zero-valued slots
+	// of never-dispatched trials are excluded, so the partial aggregate
+	// is itself well-formed (and resumable into the full one).
+	present := outcomes
+	if interrupted {
+		present = present[:0:0]
+		for _, out := range outcomes {
+			if out.ID != "" {
+				present = append(present, out)
+			}
+		}
+	}
+	rep := buildReport(present)
+	rep.Interrupted = interrupted
+	var divs []ShadowDivergence
+	for i := range divHit {
+		if divHit[i] {
+			divs = append(divs, divSlots[i])
+		}
+	}
+	sort.Slice(divs, func(i, j int) bool { return divs[i].ID < divs[j].ID })
+	rep.ShadowDivergences = divs
+	rep.ShadowChecked = int(shadowChecked.Load())
+	rep.Notes = notes
+	return rep, nil
+}
+
+// shadowEligible reports whether a restored outcome is a shadow-check
+// candidate: selection is a deterministic function of the trial ID, so
+// which trials get re-verified is reproducible. Wall-clock-hung
+// outcomes are excluded — they are the one outcome class that is not a
+// pure function of the spec.
+func shadowEligible(fraction float64, out TrialOutcome) bool {
+	if fraction <= 0 || out.Reason == ReasonWallClock {
+		return false
+	}
+	if fraction >= 1 {
+		return true
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(out.ID)) // fnv.Write cannot fail
+	return float64(h.Sum32())/float64(1<<32) < fraction
+}
+
+// shadowCheck is the RMT mirror for restored state: re-execute the
+// trial from scratch and byte-compare the canonical encodings. ok=false
+// carries a structured divergence finding.
+func (r *runner) shadowCheck(spec TrialSpec, stored TrialOutcome) (ShadowDivergence, bool) {
+	recomputed := r.runTrial(spec)
+	a, aerr := json.Marshal(stored)
+	b, berr := json.Marshal(recomputed)
+	if aerr == nil && berr == nil && bytes.Equal(a, b) {
+		return ShadowDivergence{}, true
+	}
+	return ShadowDivergence{ID: spec.ID, Stored: string(a), Recomputed: string(b)}, false
+}
+
+// commitState serializes the post-trial commit path: journal append,
+// aggregate-state update, and the periodic snapshot that must see the
+// two in lockstep (every outcome inside the snapshot is also inside the
+// journal prefix its offset names).
+type commitState struct {
+	mu       sync.Mutex
+	jr       *journal
+	path     string // checkpoint path ("" disables snapshots)
+	fp       string
+	every    int
+	sinceN   int
+	outcomes map[string]TrialOutcome
+	notes    []string
+}
+
+func (st *commitState) commit(out TrialOutcome) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.jr != nil {
+		st.jr.append(out)
+	}
+	st.outcomes[out.ID] = out
+	st.sinceN++
+	if st.path != "" && st.sinceN >= st.every {
+		st.sinceN = 0
+		st.snapshotLocked()
+	}
+}
+
+// snapshotLocked commits one checkpoint of the current aggregate state.
+// Snapshot failures degrade to notes — the journal alone still restores
+// the campaign, just with a longer replay.
+func (st *commitState) snapshotLocked() {
+	var off int64
+	if st.jr != nil {
+		off = st.jr.bytes()
+	}
+	outs := make([]TrialOutcome, 0, len(st.outcomes))
+	for _, id := range detmap.SortedKeys(st.outcomes) {
+		outs = append(outs, st.outcomes[id])
+	}
+	if err := writeCheckpoint(st.path, st.fp, outs, off); err != nil {
+		st.notes = append(st.notes, "campaign: checkpoint: "+err.Error())
+	}
 }
 
 // trialWithTimeout wraps runTrial in the optional host-clock stall

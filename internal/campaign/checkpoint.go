@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+
+	"r3d/internal/ckpt"
+)
+
+// Checkpoints snapshot the campaign's aggregate state — every completed
+// outcome plus the journal offset they cover — into an atomically
+// committed, CRC-guarded ckpt file. The journal remains the record of
+// truth; the snapshot is the fast path: restore loads the snapshot and
+// replays only the journal suffix written after it, instead of
+// re-parsing (or worse, re-running) the whole campaign. A corrupt or
+// torn snapshot rolls back to the previous one and replays a longer
+// suffix; a snapshot for a different grid or build fails loudly.
+
+const checkpointKind = "campaign-aggregate"
+
+// snapshotMeta is record 0 of every campaign checkpoint.
+type snapshotMeta struct {
+	// JournalBytes is the journal's committed length when the snapshot
+	// was taken: every outcome journaled before this offset is inside
+	// the snapshot, so restore replays only what follows it.
+	JournalBytes int64 `json:"journal_bytes"`
+	Trials       int   `json:"trials"`
+}
+
+// snapshotState is a decoded campaign checkpoint.
+type snapshotState struct {
+	outcomes     []TrialOutcome // ID-sorted
+	journalBytes int64
+}
+
+// writeCheckpoint commits one snapshot of the aggregate state. outcomes
+// may arrive in any order; they are ID-sorted so the snapshot bytes are
+// a pure function of the state.
+func writeCheckpoint(path, fingerprint string, outcomes []TrialOutcome, journalBytes int64) error {
+	sorted := make([]TrialOutcome, len(outcomes))
+	copy(sorted, outcomes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	w := ckpt.NewWriter(ckpt.Meta{Kind: checkpointKind, Fingerprint: fingerprint})
+	if err := w.Append(snapshotMeta{JournalBytes: journalBytes, Trials: len(sorted)}); err != nil {
+		return err
+	}
+	for _, out := range sorted {
+		if err := w.Append(out); err != nil {
+			return err
+		}
+	}
+	return w.Commit(path)
+}
+
+// readCheckpoint loads the latest good snapshot at path. Recoverable
+// failures — no snapshot yet, or corruption with no good predecessor —
+// degrade to a journal-only restore and are reported in notes; an
+// intact snapshot for the wrong grid or build is a hard error.
+func readCheckpoint(path, fingerprint string) (*snapshotState, []string, error) {
+	snap, note, err := ckpt.LoadLatest(path, ckpt.Meta{Kind: checkpointKind, Fingerprint: fingerprint})
+	var notes []string
+	if note != "" {
+		notes = append(notes, note)
+	}
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			notes = append(notes, fmt.Sprintf("campaign: no checkpoint at %s; restoring from the journal alone", path))
+			return nil, notes, nil
+		}
+		var corrupt *ckpt.CorruptError
+		if errors.As(err, &corrupt) {
+			notes = append(notes, fmt.Sprintf("campaign: %v — no recoverable snapshot; restoring from the journal alone", err))
+			return nil, notes, nil
+		}
+		return nil, notes, err
+	}
+	if snap.Len() < 1 {
+		notes = append(notes, fmt.Sprintf("campaign: checkpoint %s holds no records; restoring from the journal alone", path))
+		return nil, notes, nil
+	}
+	var meta snapshotMeta
+	if err := snap.Decode(0, &meta); err != nil {
+		return nil, notes, err
+	}
+	st := &snapshotState{journalBytes: meta.JournalBytes}
+	for i := 1; i < snap.Len(); i++ {
+		var out TrialOutcome
+		if err := snap.Decode(i, &out); err != nil {
+			return nil, notes, err
+		}
+		if out.ID == "" {
+			return nil, notes, fmt.Errorf("campaign: checkpoint %s record %d has no trial ID", path, i)
+		}
+		st.outcomes = append(st.outcomes, out)
+	}
+	if len(st.outcomes) != meta.Trials {
+		return nil, notes, fmt.Errorf("campaign: checkpoint %s declares %d trials but holds %d", path, meta.Trials, len(st.outcomes))
+	}
+	return st, notes, nil
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"os"
@@ -11,34 +12,58 @@ import (
 )
 
 // The journal is an append-only JSONL file: a header line identifying
-// the grid, then one TrialOutcome per completed trial in completion
-// order. Because every line is written atomically under a mutex, a
-// campaign killed at any point leaves at worst one torn final line;
-// resume truncates the file back to its last valid line, re-runs only
-// the trials without an outcome, and the aggregate (ordered by trial
-// ID, not journal order) is byte-identical to an uninterrupted run.
+// the grid, then one CRC32-guarded TrialOutcome record per completed
+// trial in completion order. Because every line is written atomically
+// under a mutex, a campaign killed at any point leaves at worst one
+// torn final line; resume truncates the file back to its last valid
+// record, re-runs only the trials without an outcome, and the aggregate
+// (ordered by trial ID, not journal order) is byte-identical to an
+// uninterrupted run. The per-record checksum extends that guarantee
+// from torn tails to corruption anywhere: a record whose payload no
+// longer matches its CRC — and everything after it, whose framing can
+// no longer be trusted — is discarded and its trials re-run.
 
 const (
 	journalMagic   = "r3d-campaign-journal"
-	journalVersion = 1
+	journalVersion = 2
+	// journalSchema names the record schema this build reads and
+	// writes. It is hashed into the grid fingerprint, so a resume
+	// against a journal from an incompatible build fails the
+	// fingerprint check loudly even before the explicit version check —
+	// record schemas are never mixed within one file.
+	journalSchema = "r3d-campaign-journal/v2"
 )
 
 type journalHeader struct {
 	Magic   string `json:"magic"`
 	Version int    `json:"version"`
-	// Fingerprint hashes the canonical encoding of the full trial grid:
-	// resuming under a different grid is an error, not a silent partial
-	// re-run.
+	Schema  string `json:"schema"`
+	// Fingerprint hashes the canonical encoding of the full trial grid
+	// together with the journal schema: resuming under a different grid
+	// or an incompatible build is an error, not a silent partial re-run.
 	Fingerprint string `json:"fingerprint"`
 }
 
-// gridFingerprint hashes the canonical JSON encoding of the specs.
+// journalRecord wraps one outcome with a CRC32 over its exact payload
+// bytes, so corruption inside the file body is detected, not replayed.
+type journalRecord struct {
+	CRC     string          `json:"crc"`
+	Outcome json.RawMessage `json:"outcome"`
+}
+
+// gridFingerprint hashes the journal schema plus the canonical JSON
+// encoding of the specs. Bumping journalSchema therefore changes every
+// fingerprint, which is exactly the loud failure an incompatible resume
+// needs.
 func gridFingerprint(specs []TrialSpec) (string, error) {
 	enc, err := json.Marshal(specs)
 	if err != nil {
 		return "", fmt.Errorf("campaign: fingerprint grid: %w", err)
 	}
 	h := fnv.New64a()
+	if _, err := h.Write([]byte(journalSchema + "\n")); err != nil {
+		return "", err
+	}
 	if _, err := h.Write(enc); err != nil {
 		return "", err
 	}
@@ -48,103 +73,134 @@ func gridFingerprint(specs []TrialSpec) (string, error) {
 type journal struct {
 	mu  sync.Mutex
 	f   *os.File
+	n   int64 // bytes committed (header + intact records)
 	err error // first append error, surfaced at close
 }
 
 // openJournal prepares the journal at path. Without resume the file is
 // truncated and a fresh header written. With resume an existing file is
-// validated against the grid fingerprint, truncated past any torn final
-// line, and its outcomes returned; a missing or empty file degrades to
-// a fresh start so `-resume` is safe on the first run too.
-func openJournal(path string, specs []TrialSpec, resume bool) (*journal, map[string]TrialOutcome, error) {
-	fp, err := gridFingerprint(specs)
-	if err != nil {
-		return nil, nil, err
-	}
-	completed := map[string]TrialOutcome{}
+// validated against the grid fingerprint, truncated past any torn or
+// corrupt suffix, and its outcomes returned in journal order; a missing
+// or empty file degrades to a fresh start so resuming is safe on the
+// first run too. fromOffset > 0 skips records before that byte offset
+// (the checkpoint restore path: the snapshot already vouches for the
+// prefix, so only the suffix replays); an offset the journal cannot
+// honor falls back to a full replay with an explanatory note.
+func openJournal(path string, fingerprint string, resume bool, fromOffset int64) (*journal, []TrialOutcome, []string, error) {
 	if resume {
-		done, validLen, err := readJournal(path, fp)
+		done, validLen, exists, notes, err := readJournal(path, fingerprint, fromOffset)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		if done != nil {
+		if exists {
 			f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 			if err != nil {
-				return nil, nil, fmt.Errorf("campaign: reopen journal: %w", err)
+				return nil, nil, nil, fmt.Errorf("campaign: reopen journal: %w", err)
 			}
-			// Drop the torn final line of an interrupted writer so new
-			// outcomes never glue onto its fragment.
+			// Drop the torn or corrupt suffix of an interrupted writer so
+			// new outcomes never glue onto its fragments.
 			if err := f.Truncate(validLen); err != nil {
-				return nil, nil, fmt.Errorf("campaign: trim journal: %w", err)
+				return nil, nil, nil, fmt.Errorf("campaign: trim journal: %w", err)
 			}
 			if _, err := f.Seek(validLen, io.SeekStart); err != nil {
-				return nil, nil, fmt.Errorf("campaign: seek journal: %w", err)
+				return nil, nil, nil, fmt.Errorf("campaign: seek journal: %w", err)
 			}
-			return &journal{f: f}, done, nil
+			return &journal{f: f, n: validLen}, done, notes, nil
 		}
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("campaign: create journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("campaign: create journal: %w", err)
 	}
-	hdr, err := json.Marshal(journalHeader{Magic: journalMagic, Version: journalVersion, Fingerprint: fp})
+	hdr, err := json.Marshal(journalHeader{Magic: journalMagic, Version: journalVersion, Schema: journalSchema, Fingerprint: fingerprint})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if _, err := f.Write(append(hdr, '\n')); err != nil {
-		return nil, nil, fmt.Errorf("campaign: write journal header: %w", err)
+		return nil, nil, nil, fmt.Errorf("campaign: write journal header: %w", err)
 	}
-	return &journal{f: f}, completed, nil
+	return &journal{f: f, n: int64(len(hdr) + 1)}, nil, nil, nil
 }
 
 // readJournal parses an existing journal, returning the outcomes it
-// holds and the byte length of its valid prefix (header plus intact
-// outcome lines). A nil map (no error) means "start fresh": the file is
-// missing or empty. A present file with a foreign header or fingerprint
-// is an error.
-func readJournal(path string, fingerprint string) (map[string]TrialOutcome, int64, error) {
+// holds (in journal order) and the byte length of its valid prefix
+// (header plus intact records). exists is false when the file is
+// missing or empty — a fresh start. A present file with a foreign
+// header or fingerprint is an error. Torn or checksum-failing records —
+// and everything after them — are reported in notes and excluded, so
+// their trials re-run.
+func readJournal(path string, fingerprint string, fromOffset int64) ([]TrialOutcome, int64, bool, []string, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, 0, nil
+		return nil, 0, false, nil, nil
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("campaign: read journal: %w", err)
+		return nil, 0, false, nil, fmt.Errorf("campaign: read journal: %w", err)
 	}
 	if len(data) == 0 {
-		return nil, 0, nil // empty file: fresh start
+		return nil, 0, false, nil, nil // empty file: fresh start
 	}
 	line, rest, ok := cutLine(data)
 	var hdr journalHeader
 	if !ok || json.Unmarshal(line, &hdr) != nil || hdr.Magic != journalMagic {
-		return nil, 0, fmt.Errorf("campaign: %s is not a campaign journal", path)
+		return nil, 0, false, nil, fmt.Errorf("campaign: %s is not a campaign journal", path)
 	}
 	if hdr.Version != journalVersion {
-		return nil, 0, fmt.Errorf("campaign: journal version %d unsupported (want %d)", hdr.Version, journalVersion)
+		return nil, 0, false, nil, fmt.Errorf("campaign: journal version %d unsupported (want %d): %s was written by an incompatible build; pass a fresh -journal path", hdr.Version, journalVersion, path)
 	}
 	if hdr.Fingerprint != fingerprint {
-		return nil, 0, fmt.Errorf("campaign: journal %s was written for a different trial grid (fingerprint %s, want %s); pass a fresh -journal path or drop -resume", path, hdr.Fingerprint, fingerprint)
+		return nil, 0, false, nil, fmt.Errorf("campaign: journal %s was written for a different trial grid or schema (fingerprint %s, want %s); pass a fresh -journal path or drop -resume", path, hdr.Fingerprint, fingerprint)
 	}
-	done := map[string]TrialOutcome{}
-	validLen := int64(len(line) + 1)
+
+	var notes []string
+	headerLen := int64(len(line) + 1)
+	validLen := headerLen
+	if fromOffset > headerLen {
+		// The checkpoint path: skip the prefix the snapshot already
+		// holds, but only when the offset is plausible — inside the file
+		// and on a record boundary. Otherwise the journal is shorter than
+		// the snapshot believed (a lost flush), and the only safe move is
+		// a full replay.
+		if fromOffset <= int64(len(data)) && data[fromOffset-1] == '\n' {
+			rest = data[fromOffset:]
+			validLen = fromOffset
+		} else {
+			notes = append(notes, fmt.Sprintf("campaign: journal %s is shorter than the checkpoint recorded (%d bytes < offset %d); replaying the full journal", path, len(data), fromOffset))
+		}
+	}
+
+	var done []TrialOutcome
 	for len(rest) > 0 {
 		line, next, ok := cutLine(rest)
 		if !ok {
-			break // torn final line: the trial simply re-runs
+			// Unterminated fragment: never a committed record, since the
+			// writer emits each record and its newline in a single write.
+			notes = append(notes, fmt.Sprintf("campaign: journal %s ends in a torn record (%d bytes); its trial re-runs", path, len(rest)))
+			break
+		}
+		var rec journalRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Outcome == nil {
+			notes = append(notes, fmt.Sprintf("campaign: journal %s has a malformed record at byte %d; discarding it and the %d bytes after it (their trials re-run)", path, validLen, int64(len(rest))-int64(len(line)+1)))
+			break
+		}
+		if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(rec.Outcome)); got != rec.CRC {
+			notes = append(notes, fmt.Sprintf("campaign: journal %s has a checksum-failing record at byte %d (stored %s, computed %s); discarding it and the %d bytes after it (their trials re-run)", path, validLen, rec.CRC, got, int64(len(rest))-int64(len(line)+1)))
+			break
 		}
 		var out TrialOutcome
-		if json.Unmarshal(line, &out) != nil || out.ID == "" {
-			break // corrupt tail: everything from here re-runs
+		if json.Unmarshal(rec.Outcome, &out) != nil || out.ID == "" {
+			notes = append(notes, fmt.Sprintf("campaign: journal %s has an undecodable outcome at byte %d; discarding it and everything after it", path, validLen))
+			break
 		}
-		done[out.ID] = out
+		done = append(done, out)
 		validLen += int64(len(line) + 1)
 		rest = next
 	}
-	return done, validLen, nil
+	return done, validLen, true, notes, nil
 }
 
 // cutLine splits b at its first newline. ok is false when no newline
-// remains — an unterminated fragment is never a committed record, since
-// the writer emits each record and its newline in a single write.
+// remains.
 func cutLine(b []byte) (line, rest []byte, ok bool) {
 	i := bytes.IndexByte(b, '\n')
 	if i < 0 {
@@ -161,13 +217,40 @@ func (j *journal) append(out TrialOutcome) {
 	if j.err != nil {
 		return
 	}
-	enc, err := json.Marshal(out)
+	payload, err := json.Marshal(out)
+	if err != nil {
+		j.err = err
+		return
+	}
+	enc, err := json.Marshal(journalRecord{CRC: fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)), Outcome: payload})
 	if err != nil {
 		j.err = err
 		return
 	}
 	if _, err := j.f.Write(append(enc, '\n')); err != nil {
 		j.err = fmt.Errorf("campaign: journal append: %w", err)
+		return
+	}
+	j.n += int64(len(enc) + 1)
+}
+
+// bytes returns the committed byte length — the offset a checkpoint
+// records so restore can replay only the suffix written after it.
+func (j *journal) bytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// sync flushes the journal to stable storage (the graceful-drain path).
+func (j *journal) sync() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("campaign: journal sync: %w", err)
 	}
 }
 

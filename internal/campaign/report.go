@@ -29,12 +29,36 @@ type Summary struct {
 	MeanCoverage float64 `json:"mean_coverage"`
 }
 
+// ShadowDivergence is one failed shadow re-verification: a restored
+// outcome whose from-scratch recomputation no longer matches it
+// byte-for-byte. It is the campaign-level mirror of the paper's RMT
+// checker flagging a leading-thread result it cannot reproduce.
+type ShadowDivergence struct {
+	ID         string `json:"id"`
+	Stored     string `json:"stored"`
+	Recomputed string `json:"recomputed"`
+}
+
 // Report is the deterministic aggregate of a campaign: trials sorted by
 // ID — never by completion order — so a parallel, interrupted-and-
-// resumed run encodes byte-identically to a serial fresh one.
+// resumed run encodes byte-identically to a serial fresh one. The
+// shadow and interrupt fields encode as absent when clean, so a clean
+// run's JSON is unchanged from builds that predate them.
 type Report struct {
 	Trials  []TrialOutcome `json:"trials"`
 	Summary Summary        `json:"summary"`
+	// Interrupted marks a gracefully drained run: the report covers only
+	// the trials that finished, and the journal/checkpoint can resume it.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// ShadowDivergences lists restored outcomes (ID-sorted) that failed
+	// re-verification.
+	ShadowDivergences []ShadowDivergence `json:"shadow_divergences,omitempty"`
+	// ShadowChecked counts shadow re-verifications actually executed.
+	// Diagnostic only — excluded from the canonical encoding.
+	ShadowChecked int `json:"-"`
+	// Notes carries restore/checkpoint diagnostics for the caller to
+	// surface on stderr; like ShadowChecked it never reaches the JSON.
+	Notes []string `json:"-"`
 }
 
 // buildReport orders outcomes by trial ID and computes the summary in
@@ -123,5 +147,15 @@ func (r *Report) Table() string {
 		s.Trials, s.OK, s.Hung, s.Crashed, s.Retried)
 	fmt.Fprintf(&b, "injected %d lead + %d RF (%d MBUs), detected %d, unrecovered %d, mean coverage %.2f\n",
 		s.LeadInjected, s.RFInjected, s.MBUs, s.Detected, s.Unrecovered, s.MeanCoverage)
+	if r.Interrupted {
+		fmt.Fprintf(&b, "interrupted: drained gracefully; resume with -restore to finish the grid\n")
+	}
+	if r.ShadowChecked > 0 {
+		fmt.Fprintf(&b, "shadow-verified %d restored outcome(s), %d divergence(s)\n",
+			r.ShadowChecked, len(r.ShadowDivergences))
+	}
+	for _, d := range r.ShadowDivergences {
+		fmt.Fprintf(&b, "  SHADOW DIVERGENCE %s:\n    stored:     %s\n    recomputed: %s\n", d.ID, d.Stored, d.Recomputed)
+	}
 	return b.String()
 }

@@ -13,6 +13,7 @@ package experiment
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"r3d/internal/core"
 	"r3d/internal/nuca"
@@ -121,6 +122,26 @@ type Session struct {
 	// thermalMu guards solvers and serializes whole thermal solves.
 	thermalMu sync.Mutex
 	solvers   map[string]*thermal.Solver
+
+	// thermalWarn counts solves that hit ThermalMaxIters before reaching
+	// ThermalTolC (see ThermalResult.Converged).
+	thermalWarn atomic.Int64
+}
+
+// SessionOptions tunes a session beyond quality: parallelism,
+// observability, and the RMT-style shadow self-verification of cached
+// windows.
+type SessionOptions struct {
+	// Workers bounds the prefetch pool (≤0 selects 1).
+	Workers int
+	// Clock supplies monotonic nanoseconds for engine counters; nil
+	// zeroes all timings (model code never reads the host clock).
+	Clock func() int64
+	// ShadowFraction re-verifies that fraction of cache hits — including
+	// windows preloaded from a persisted cache — by recomputing them
+	// from scratch and byte-comparing canonical encodings. Divergences
+	// are reported by ShadowDivergences, never silently repaired.
+	ShadowFraction float64
 }
 
 // NewSession creates a serial session (one worker, no run timing) —
@@ -131,21 +152,46 @@ func NewSession(q Quality) *Session {
 }
 
 // NewParallelSession creates a session whose prefetch batches fan out
-// across a bounded worker pool. clock supplies monotonic nanoseconds
-// for the engine's observability counters; it must be injected by the
-// driver (model code never reads the host clock) and may be nil, which
-// zeroes all timings. Output is byte-identical for any worker count.
+// across a bounded worker pool. Output is byte-identical for any worker
+// count. It is NewSessionWith(q, SessionOptions{Workers: workers,
+// Clock: clock}).
 func NewParallelSession(q Quality, workers int, clock func() int64) *Session {
+	return NewSessionWith(q, SessionOptions{Workers: workers, Clock: clock})
+}
+
+// NewSessionWith creates a session with the full option set.
+func NewSessionWith(q Quality, opts SessionOptions) *Session {
 	s := &Session{
 		Q:       q,
 		solvers: map[string]*thermal.Solver{},
 	}
-	s.eng = runsched.New(s.computeRun, runsched.Options[RunKey]{
-		Workers: workers,
+	engOpts := runsched.Options[RunKey, runValue]{
+		Workers: opts.Workers,
 		Compare: CompareRunKeys,
-		Clock:   clock,
-	})
+		Clock:   opts.Clock,
+	}
+	if opts.ShadowFraction > 0 {
+		engOpts.ShadowFraction = opts.ShadowFraction
+		engOpts.Hash = hashRunKey
+		engOpts.Encode = encodeRunValue
+	}
+	s.eng = runsched.New(s.computeRun, engOpts)
 	return s
+}
+
+// Interrupt asks the session's run engine to drain gracefully:
+// in-flight windows finish and commit (so SaveCache persists them), and
+// Prefetch reports runsched.ErrInterrupted for the windows it skipped.
+func (s *Session) Interrupt() { s.eng.Interrupt() }
+
+// ThermalWarnings returns how many thermal solves failed to converge
+// within the quality's iteration budget.
+func (s *Session) ThermalWarnings() int64 { return s.thermalWarn.Load() }
+
+// ShadowDivergences returns the cached windows (canonical key order)
+// whose shadow recomputation did not reproduce them byte-for-byte.
+func (s *Session) ShadowDivergences() []runsched.Divergence[RunKey] {
+	return s.eng.Divergences()
 }
 
 // Prefetch computes the given windows across the session's worker pool,

@@ -56,6 +56,11 @@ type ThermalResult struct {
 	PeakDie1C thermal.Celsius
 	PeakDie2C thermal.Celsius // NaN-free: equals PeakDie1C for 2D models
 	Iters     int
+	// Converged is false when the solver hit ThermalMaxIters before
+	// reaching ThermalTolC: the temperatures are estimates, not a settled
+	// field. Each such solve also increments the session's thermal
+	// warning counter (Session.ThermalWarnings).
+	Converged bool
 }
 
 func (c ThermalCase) norm() ThermalCase {
@@ -154,12 +159,16 @@ func (s *Session) SolveThermalDetailed(c ThermalCase) (*thermal.Solver, ThermalR
 			return nil, ThermalResult{}, err
 		}
 	}
-	iters := solver.Solve(s.Q.ThermalTolC, s.Q.ThermalMaxIters)
+	iters, converged := solver.Solve(s.Q.ThermalTolC, s.Q.ThermalMaxIters)
+	if !converged {
+		s.thermalWarn.Add(1)
+	}
 	res := ThermalResult{
 		PeakC:     solver.PeakAllC(),
 		PeakDie1C: solver.PeakC(0),
 		PeakDie2C: solver.PeakC(0),
 		Iters:     iters,
+		Converged: converged,
 	}
 	if fp.Layers == 2 {
 		res.PeakDie2C = solver.PeakC(1)

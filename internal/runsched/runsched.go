@@ -25,10 +25,18 @@
 package runsched
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
 )
+
+// ErrInterrupted is the memo-free error a Prefetch reports for keys it
+// never dispatched because Interrupt was called. It is not committed to
+// the cache: the keys stay uncomputed and a later run (e.g. a warm
+// start from a persisted cache) computes them normally.
+var ErrInterrupted = errors.New("runsched: interrupted")
 
 // Stats are the engine's observability counters. All fields are sums or
 // counts, so they are identical for any worker count; only the injected
@@ -52,6 +60,13 @@ type Stats struct {
 	// measured by the injected clock (0 without one). With parallel
 	// workers it exceeds elapsed time — it is total work, not latency.
 	ComputeNanos int64 `json:"compute_nanos"`
+	// Preloaded counts entries seeded from a persisted cache (Preload).
+	Preloaded int `json:"preloaded"`
+	// ShadowChecked / ShadowDiverged count cache hits re-verified by a
+	// from-scratch recomputation and the re-verifications that failed
+	// the byte comparison.
+	ShadowChecked  int `json:"shadow_checked"`
+	ShadowDiverged int `json:"shadow_diverged"`
 }
 
 // Record is the per-run observability entry for one computed key.
@@ -61,8 +76,23 @@ type Record[K comparable] struct {
 	Err   bool  // compute returned an error
 }
 
+// Entry is one successful memo entry, the unit of cache persistence:
+// Entries dumps them, Preload seeds them.
+type Entry[K comparable, V any] struct {
+	Key K `json:"key"`
+	Val V `json:"val"`
+}
+
+// Divergence is one failed shadow re-verification: a cached value whose
+// recomputation no longer matches it byte-for-byte under Options.Encode.
+type Divergence[K comparable] struct {
+	Key        K
+	Stored     string
+	Recomputed string
+}
+
 // Options configures an Engine.
-type Options[K comparable] struct {
+type Options[K comparable, V any] struct {
 	// Workers bounds the batch worker pool (≤0 selects 1). Get always
 	// computes on the calling goroutine.
 	Workers int
@@ -74,6 +104,18 @@ type Options[K comparable] struct {
 	// counters. nil disables timing (all durations zero): the engine is
 	// model code and must not read the host clock itself.
 	Clock func() int64
+	// ShadowFraction enables RMT-style self-verification: each key's
+	// first cache hit has this probability of triggering a from-scratch
+	// recomputation whose Encode bytes are compared against the cached
+	// value. Selection is a pure function of Hash(key), so which keys
+	// get re-verified is reproducible. Requires Hash and Encode; 0
+	// disables, ≥1 checks every hit key once.
+	ShadowFraction float64
+	// Hash maps a key to the 32-bit value driving shadow selection.
+	Hash func(K) uint32
+	// Encode produces the canonical bytes compared during a shadow
+	// check. It must be a pure function of the value.
+	Encode func(V) ([]byte, error)
 }
 
 // result is a committed memo entry.
@@ -94,18 +136,22 @@ type call[V any] struct {
 // scheduling. The zero value is not usable; construct with New.
 type Engine[K comparable, V any] struct {
 	compute func(K) (V, error)
-	opts    Options[K]
+	opts    Options[K, V]
+	stop    chan struct{}
 
-	mu       sync.Mutex
-	results  map[K]result[V]
-	inflight map[K]*call[V]
-	stats    Stats
-	records  []Record[K]
+	mu          sync.Mutex
+	results     map[K]result[V]
+	inflight    map[K]*call[V]
+	stats       Stats
+	records     []Record[K]
+	shadowDone  map[K]bool // keys already shadow-checked (at most once each)
+	divergences []Divergence[K]
+	stopped     bool
 }
 
 // New creates an engine over the given pure compute function.
 // Options.Compare must be non-nil.
-func New[K comparable, V any](compute func(K) (V, error), opts Options[K]) *Engine[K, V] {
+func New[K comparable, V any](compute func(K) (V, error), opts Options[K, V]) *Engine[K, V] {
 	if compute == nil {
 		panic("runsched: nil compute function")
 	}
@@ -115,11 +161,29 @@ func New[K comparable, V any](compute func(K) (V, error), opts Options[K]) *Engi
 	if opts.Workers <= 0 {
 		opts.Workers = 1
 	}
+	if opts.ShadowFraction > 0 && (opts.Hash == nil || opts.Encode == nil) {
+		panic("runsched: ShadowFraction requires Options.Hash and Options.Encode")
+	}
 	return &Engine[K, V]{
-		compute:  compute,
-		opts:     opts,
-		results:  map[K]result[V]{},
-		inflight: map[K]*call[V]{},
+		compute:    compute,
+		opts:       opts,
+		stop:       make(chan struct{}),
+		results:    map[K]result[V]{},
+		inflight:   map[K]*call[V]{},
+		shadowDone: map[K]bool{},
+	}
+}
+
+// Interrupt asks the engine to drain: in-flight computations finish and
+// commit, but Prefetch dispatches no further keys and reports
+// ErrInterrupted for the ones it skipped. Idempotent and safe from a
+// signal handler's goroutine.
+func (e *Engine[K, V]) Interrupt() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.stopped {
+		e.stopped = true
+		close(e.stop)
 	}
 }
 
@@ -141,7 +205,11 @@ func (e *Engine[K, V]) Get(k K) (V, error) {
 	e.mu.Lock()
 	if r, ok := e.results[k]; ok {
 		e.stats.Hits++
+		check := e.shadowWantedLocked(k, r.err)
 		e.mu.Unlock()
+		if check {
+			e.shadowCheck(k, r.val)
+		}
 		return r.val, r.err
 	}
 	if c, ok := e.inflight[k]; ok {
@@ -185,13 +253,121 @@ func (e *Engine[K, V]) commit(k K, c *call[V]) {
 	e.records = append(e.records, Record[K]{Key: k, Nanos: c.nanos, Err: c.err != nil})
 }
 
+// shadowWantedLocked decides (under e.mu) whether this hit triggers a
+// shadow re-verification, and claims the key so each is checked at most
+// once. Selection is a pure function of Hash(key) and the fraction.
+func (e *Engine[K, V]) shadowWantedLocked(k K, err error) bool {
+	f := e.opts.ShadowFraction
+	if f <= 0 || err != nil || e.shadowDone[k] {
+		return false
+	}
+	if f < 1 && float64(e.opts.Hash(k))/float64(1<<32) >= f {
+		return false
+	}
+	e.shadowDone[k] = true
+	return true
+}
+
+// shadowCheck recomputes k from scratch and byte-compares the canonical
+// encodings, recording a Divergence on mismatch. The cached value is
+// never replaced: the engine detects divergence, it does not adjudicate
+// which side is right.
+func (e *Engine[K, V]) shadowCheck(k K, stored V) {
+	recomputed, err := e.compute(k)
+	a, aerr := e.opts.Encode(stored)
+	var b []byte
+	var berr error
+	if err == nil {
+		b, berr = e.opts.Encode(recomputed)
+	}
+	match := err == nil && aerr == nil && berr == nil && bytes.Equal(a, b)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.ShadowChecked++
+	if match {
+		return
+	}
+	e.stats.ShadowDiverged++
+	d := Divergence[K]{Key: k, Stored: string(a)}
+	switch {
+	case err != nil:
+		d.Recomputed = "recompute error: " + err.Error()
+	case berr != nil:
+		d.Recomputed = "encode error: " + berr.Error()
+	default:
+		d.Recomputed = string(b)
+	}
+	e.divergences = append(e.divergences, d)
+}
+
+// Preload seeds the memo from persisted entries (a prior run's
+// Entries). Keys already computed this run keep their fresh result;
+// preloaded entries join the cache as ordinary hits-to-be and are
+// eligible for shadow re-verification like any other cached value.
+func (e *Engine[K, V]) Preload(entries []Entry[K, V]) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ent := range entries {
+		if _, ok := e.results[ent.Key]; ok {
+			continue
+		}
+		if _, ok := e.inflight[ent.Key]; ok {
+			continue
+		}
+		e.results[ent.Key] = result[V]{val: ent.Val}
+		e.stats.Preloaded++
+	}
+}
+
+// Entries returns every successful memo entry in canonical key order —
+// the persistable image of the cache. Errored keys are excluded: they
+// are retried, not replayed, on the next run.
+func (e *Engine[K, V]) Entries() []Entry[K, V] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Entry[K, V], 0, len(e.results))
+	//lint:ignore maporder entries are collected in any order and then sorted canonically below; generic keys cannot use detmap
+	for k, r := range e.results {
+		if r.err == nil {
+			out = append(out, Entry[K, V]{Key: k, Val: r.val})
+		}
+	}
+	slices.SortFunc(out, func(a, b Entry[K, V]) int { return e.opts.Compare(a.Key, b.Key) })
+	return out
+}
+
+// Divergences returns the failed shadow re-verifications in canonical
+// key order.
+func (e *Engine[K, V]) Divergences() []Divergence[K] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Divergence[K], len(e.divergences))
+	copy(out, e.divergences)
+	slices.SortFunc(out, func(a, b Divergence[K]) int { return e.opts.Compare(a.Key, b.Key) })
+	return out
+}
+
+// prefetchJob is one unit of Prefetch pool work: either a computation
+// or a shadow re-verification of a cache hit.
+type prefetchJob[K comparable, V any] struct {
+	k      K
+	shadow bool
+	stored V
+}
+
 // Prefetch computes every key in keys across the worker pool. Keys are
 // deduplicated and sorted canonically before dispatch, and results are
 // committed in that same order regardless of completion order, so the
 // engine's observable state after a batch is independent of scheduling.
-// Keys already computed count as hits; keys being computed by another
-// caller are joined. It returns the first error in canonical key order
-// (the same error a later Get of that key will return).
+// Keys already computed count as hits (and may be shadow re-verified in
+// the same pool); keys being computed by another caller are joined. It
+// returns the first error in canonical key order (the same error a
+// later Get of that key will return).
+//
+// If Interrupt fires mid-batch, in-flight computations finish and
+// commit, remaining keys are skipped, and Prefetch reports
+// ErrInterrupted; the skipped keys stay uncomputed and un-memoized.
 func (e *Engine[K, V]) Prefetch(keys []K) error {
 	e.mu.Lock()
 	e.stats.BatchRequested += len(keys)
@@ -204,13 +380,16 @@ func (e *Engine[K, V]) Prefetch(keys []K) error {
 	// Partition: already-memoized keys are hits; keys some other caller
 	// is computing are joined after the pool drains; the rest are ours.
 	var joins []*call[V]
-	var work []K
+	var work []prefetchJob[K, V]
 	calls := make(map[K]*call[V], len(uniq))
 	errs := make(map[K]error, len(uniq))
 	for _, k := range uniq {
 		if r, ok := e.results[k]; ok {
 			e.stats.Hits++
 			errs[k] = r.err
+			if e.shadowWantedLocked(k, r.err) {
+				work = append(work, prefetchJob[K, V]{k: k, shadow: true, stored: r.val})
+			}
 			continue
 		}
 		if c, ok := e.inflight[k]; ok {
@@ -222,34 +401,64 @@ func (e *Engine[K, V]) Prefetch(keys []K) error {
 		c := &call[V]{done: make(chan struct{})}
 		e.inflight[k] = c
 		calls[k] = c
-		work = append(work, k)
+		work = append(work, prefetchJob[K, V]{k: k})
 	}
 	e.mu.Unlock()
 
-	// Bounded fan-out; dispatch in canonical order. Completion order is
-	// scheduling-dependent, which is why the commit below re-walks work
-	// in its canonical order instead.
-	jobs := make(chan K)
+	// Bounded fan-out; dispatch in canonical order (compute jobs and
+	// shadow checks interleaved as the key order fell). Completion order
+	// is scheduling-dependent, which is why the commit below re-walks
+	// work in its canonical order instead.
+	jobs := make(chan prefetchJob[K, V])
 	var wg sync.WaitGroup
 	workers := min(e.opts.Workers, len(work))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for k := range jobs {
-				e.run(k, calls[k])
+			for j := range jobs {
+				if j.shadow {
+					e.shadowCheck(j.k, j.stored)
+					continue
+				}
+				e.run(j.k, calls[j.k])
 			}
 		}()
 	}
-	for _, k := range work {
-		jobs <- k
+	var skipped []K
+dispatch:
+	for i, j := range work {
+		select {
+		case jobs <- j:
+		case <-e.stop:
+			for _, rest := range work[i:] {
+				if !rest.shadow {
+					skipped = append(skipped, rest.k)
+				}
+			}
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
 	e.mu.Lock()
-	for _, k := range work {
-		e.commit(k, calls[k])
+	skippedSet := make(map[K]bool, len(skipped))
+	for _, k := range skipped {
+		// A skipped key is released, not memoized: its call resolves with
+		// ErrInterrupted for any joiner, and the key stays uncomputed so a
+		// later run can compute it for real.
+		skippedSet[k] = true
+		c := calls[k]
+		c.err = ErrInterrupted
+		close(c.done)
+		delete(e.inflight, k)
+	}
+	for _, j := range work {
+		if j.shadow || skippedSet[j.k] {
+			continue
+		}
+		e.commit(j.k, calls[j.k])
 	}
 	e.mu.Unlock()
 
@@ -264,9 +473,13 @@ func (e *Engine[K, V]) Prefetch(keys []K) error {
 		if c, ok := calls[k]; ok {
 			err = c.err
 		}
-		if err != nil {
-			return fmt.Errorf("runsched: %w", err)
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, ErrInterrupted) {
+			return ErrInterrupted
+		}
+		return fmt.Errorf("runsched: %w", err)
 	}
 	return nil
 }

@@ -11,7 +11,7 @@ import (
 )
 
 func intEngine(workers int, compute func(int) (string, error)) *Engine[int, string] {
-	return New(compute, Options[int]{
+	return New(compute, Options[int, string]{
 		Workers: workers,
 		Compare: func(a, b int) int { return a - b },
 	})
@@ -176,7 +176,7 @@ func TestErrorsAreMemoized(t *testing.T) {
 
 func TestInjectedClockTiming(t *testing.T) {
 	var tick atomic.Int64
-	e := New(func(k int) (string, error) { return "v", nil }, Options[int]{
+	e := New(func(k int) (string, error) { return "v", nil }, Options[int, string]{
 		Workers: 1,
 		Compare: func(a, b int) int { return a - b },
 		// Each clock read advances 5 ns, so every compute measures
@@ -280,5 +280,166 @@ func TestWorkerCountInvariance(t *testing.T) {
 	}
 	if fmt.Sprintf("%v", r1) != fmt.Sprintf("%v", r8) {
 		t.Errorf("records differ across worker counts:\n  w1: %v\n  w8: %v", r1, r8)
+	}
+}
+
+func TestPreloadAndEntriesRoundTrip(t *testing.T) {
+	var computed atomic.Int64
+	mk := func() *Engine[int, string] {
+		return intEngine(2, func(k int) (string, error) {
+			computed.Add(1)
+			return fmt.Sprintf("v%d", k), nil
+		})
+	}
+	e1 := mk()
+	if err := e1.Prefetch([]int{3, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	ents := e1.Entries()
+	if len(ents) != 3 {
+		t.Fatalf("entries %d, want 3", len(ents))
+	}
+	for i, want := range []int{1, 2, 3} {
+		if ents[i].Key != want || ents[i].Val != fmt.Sprintf("v%d", want) {
+			t.Errorf("entries[%d] = %+v", i, ents[i])
+		}
+	}
+
+	// A second engine preloaded from the first computes nothing.
+	computed.Store(0)
+	e2 := mk()
+	e2.Preload(ents)
+	if st := e2.Stats(); st.Preloaded != 3 {
+		t.Errorf("Preloaded = %d, want 3", st.Preloaded)
+	}
+	if err := e2.Prefetch([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if computed.Load() != 0 {
+		t.Errorf("preloaded engine recomputed %d keys", computed.Load())
+	}
+	if v, err := e2.Get(2); v != "v2" || err != nil {
+		t.Errorf("Get(2) = %q, %v", v, err)
+	}
+	// Errored keys never persist.
+	e3 := intEngine(1, func(k int) (string, error) { return "", errors.New("boom") })
+	_, _ = e3.Get(9)
+	if got := e3.Entries(); len(got) != 0 {
+		t.Errorf("errored key persisted: %+v", got)
+	}
+}
+
+func TestPreloadDoesNotOverrideFreshResults(t *testing.T) {
+	e := intEngine(1, func(k int) (string, error) { return "fresh", nil })
+	if _, err := e.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	e.Preload([]Entry[int, string]{{Key: 1, Val: "stale"}, {Key: 2, Val: "loaded"}})
+	if st := e.Stats(); st.Preloaded != 1 {
+		t.Errorf("Preloaded = %d, want 1 (key 1 already computed)", st.Preloaded)
+	}
+	if v, _ := e.Get(1); v != "fresh" {
+		t.Errorf("Get(1) = %q, preload must not override a computed result", v)
+	}
+	if v, _ := e.Get(2); v != "loaded" {
+		t.Errorf("Get(2) = %q", v)
+	}
+}
+
+func TestShadowCheckOnHitsDetectsDivergence(t *testing.T) {
+	var calls atomic.Int64
+	e := New(func(k int) (string, error) {
+		// Not a pure function on purpose: recomputations of key 1 differ,
+		// which is exactly what a shadow check exists to catch.
+		if k == 1 && calls.Add(1) > 1 {
+			return "mutated", nil
+		}
+		if k == 1 {
+			return "original", nil
+		}
+		return fmt.Sprintf("v%d", k), nil
+	}, Options[int, string]{
+		Workers:        2,
+		Compare:        func(a, b int) int { return a - b },
+		ShadowFraction: 1,
+		Hash:           func(k int) uint32 { return uint32(k) },
+		Encode:         func(v string) ([]byte, error) { return []byte(v), nil },
+	})
+	if err := e.Prefetch([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// First hits trigger one shadow check per key.
+	if _, err := e.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Get(2); err != nil {
+		t.Fatal(err)
+	}
+	// Second hit of key 1 must not re-check (at most one check per key).
+	if _, err := e.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.ShadowChecked != 2 {
+		t.Errorf("ShadowChecked = %d, want 2", st.ShadowChecked)
+	}
+	if st.ShadowDiverged != 1 {
+		t.Errorf("ShadowDiverged = %d, want 1", st.ShadowDiverged)
+	}
+	divs := e.Divergences()
+	if len(divs) != 1 || divs[0].Key != 1 || divs[0].Stored != "original" || divs[0].Recomputed != "mutated" {
+		t.Errorf("divergences = %+v", divs)
+	}
+	// Detection, not repair: the cached value is untouched.
+	if v, _ := e.Get(1); v != "original" {
+		t.Errorf("cached value after divergence = %q, want untouched original", v)
+	}
+}
+
+func TestShadowFractionZeroChecksNothing(t *testing.T) {
+	e := intEngine(1, func(k int) (string, error) { return "v", nil })
+	if _, err := e.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.ShadowChecked != 0 {
+		t.Errorf("ShadowChecked = %d with no shadow config, want 0", st.ShadowChecked)
+	}
+}
+
+func TestInterruptDrainsPrefetch(t *testing.T) {
+	const keys = 12
+	started := make(chan int, keys)
+	release := make(chan struct{})
+	e := intEngine(1, func(k int) (string, error) {
+		started <- k
+		<-release
+		return fmt.Sprintf("v%d", k), nil
+	})
+	all := make([]int, keys)
+	for i := range all {
+		all[i] = i
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.Prefetch(all) }()
+	<-started // one worker is inside compute; the rest of the batch is queued
+	e.Interrupt()
+	close(release)
+	if err := <-done; !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted Prefetch returned %v, want ErrInterrupted", err)
+	}
+	st := e.Stats()
+	if st.Computed == 0 || st.Computed >= keys {
+		t.Errorf("Computed = %d, want the in-flight prefix only (0 < n < %d)", st.Computed, keys)
+	}
+	// In-flight work committed and persists…
+	if len(e.Entries()) != st.Computed {
+		t.Errorf("entries %d != computed %d", len(e.Entries()), st.Computed)
+	}
+	// …and skipped keys were released, not poisoned: Get computes them.
+	if v, err := e.Get(keys - 1); err != nil || v == "" {
+		t.Errorf("Get of a skipped key after interrupt = %q, %v", v, err)
 	}
 }

@@ -275,9 +275,12 @@ func (s *Solver) TotalPower() float64 {
 }
 
 // Solve iterates red-black SOR until the maximum update falls below
-// tolC (°C) or maxIters is reached, returning the iteration count. The
-// previous solution is kept as the starting point (warm start).
-func (s *Solver) Solve(tolC Celsius, maxIters int) int {
+// tolC (°C) or maxIters is reached, returning the iteration count and
+// whether the tolerance was actually met. converged=false means the
+// field is the best available estimate, not a solution: callers must
+// not silently treat an iteration-capped field as settled. The previous
+// solution is kept as the starting point (warm start).
+func (s *Solver) Solve(tolC Celsius, maxIters int) (iters int, converged bool) {
 	const omega = 1.85
 	tol := float64(tolC)
 	for it := 1; it <= maxIters; it++ {
@@ -333,10 +336,10 @@ func (s *Solver) Solve(tolC Celsius, maxIters int) int {
 			}
 		}
 		if maxDelta < tol {
-			return it
+			return it, true
 		}
 	}
-	return maxIters
+	return maxIters, false
 }
 
 // PeakC returns the maximum temperature over the given die's active

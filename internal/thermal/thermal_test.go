@@ -183,11 +183,32 @@ func TestWarmStartConvergesFaster(t *testing.T) {
 	cfg := Stack2D(7.2, 7.2)
 	s := NewSolver(cfg)
 	s.SetPower(0, uniformGrid(cfg.Nx, cfg.Ny, 40))
-	cold := s.Solve(1e-4, 50000)
+	cold, convCold := s.Solve(1e-4, 50000)
 	s.SetPower(0, uniformGrid(cfg.Nx, cfg.Ny, 41))
-	warm := s.Solve(1e-4, 50000)
+	warm, convWarm := s.Solve(1e-4, 50000)
+	if !convCold || !convWarm {
+		t.Fatalf("solves must converge within budget (cold %v, warm %v)", convCold, convWarm)
+	}
 	if warm >= cold {
 		t.Errorf("warm start (%d iters) should beat cold start (%d)", warm, cold)
+	}
+}
+
+func TestSolveReportsNonConvergence(t *testing.T) {
+	cfg := Stack2D(7.2, 7.2)
+	s := NewSolver(cfg)
+	s.SetPower(0, uniformGrid(cfg.Nx, cfg.Ny, 40))
+	iters, converged := s.Solve(1e-9, 3)
+	if converged {
+		t.Error("3 iterations at 1e-9 tolerance must not report convergence")
+	}
+	if iters != 3 {
+		t.Errorf("non-converged solve reports %d iters, want the cap (3)", iters)
+	}
+	// The same system with a real budget does converge, so the flag is
+	// about the budget, not the problem.
+	if _, ok := s.Solve(1e-4, 50000); !ok {
+		t.Error("generous budget must converge")
 	}
 }
 
