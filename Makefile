@@ -47,11 +47,13 @@ race:
 
 # Quick race pass over just the concurrent machinery: the experiment
 # session's concurrency tests (engine-backed memoization, thermal
-# lock), the run engine and the campaign worker pool. The rest of the
-# experiment suite is serial render code — `make race` covers it.
+# lock), the run engine, the campaign worker pool (journal writes under
+# commitState.mu) and the checkpoint crash/restore tests that race a
+# snapshotter against live commits. The rest of the experiment suite is
+# serial render code — `make race` covers it.
 race-engine:
 	$(GO) test -race -count=1 -run 'Concurrent|WorkerCount|Race' ./internal/experiment/
-	$(GO) test -race -count=1 ./internal/runsched/ ./internal/campaign/
+	$(GO) test -race -count=1 ./internal/runsched/ ./internal/campaign/ ./internal/ckpt/
 
 fmt:
 	gofmt -w .

@@ -6,14 +6,16 @@
 //
 // Usage:
 //
-//	r3dlint [-list] [-json] [-baseline file] [dir]
+//	r3dlint [-list] [-json] [-baseline file [-fix-baseline]] [dir]
 //
 // dir defaults to the current directory; a trailing /... is accepted
 // (and ignored — the whole module is always analyzed). -json emits the
 // findings as a byte-stable JSON array (the same format -baseline
 // consumes); -baseline suppresses the findings recorded in the given
 // file and fails only on regressions, reporting baseline entries that
-// no longer match anything as stale (non-fatal). Findings are
+// no longer match anything as stale (non-fatal); -fix-baseline
+// rewrites the -baseline file in place, dropping those stale entries.
+// Findings are
 // suppressed in source with a reasoned directive:
 //
 //	//lint:ignore <check> <reason>
@@ -40,6 +42,14 @@ func printf(w io.Writer, format string, args ...any) {
 	_, _ = fmt.Fprintf(w, format, args...)
 }
 
+// plural selects the singular or plural suffix for n.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
 // run is the testable body of main: it parses args, runs the suite and
 // returns the process exit code (0 clean, 1 findings, 2 usage/load
 // error).
@@ -49,13 +59,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array (byte-stable)")
 	baseline := fs.String("baseline", "", "suppress findings recorded in this JSON `file`; fail only on regressions")
+	fixBaseline := fs.Bool("fix-baseline", false, "rewrite the -baseline file in place, dropping stale entries")
 	fs.Usage = func() {
-		printf(stderr, "usage: r3dlint [-list] [-json] [-baseline file] [dir]\n\nAnalyzers:\n")
+		printf(stderr, "usage: r3dlint [-list] [-json] [-baseline file [-fix-baseline]] [dir]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			printf(stderr, "  %-13s %s\n", a.Name, a.Doc)
 		}
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *fixBaseline && *baseline == "" {
+		printf(stderr, "r3dlint: -fix-baseline requires -baseline\n")
+		fs.Usage()
 		return 2
 	}
 
@@ -81,6 +97,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		printf(stderr, "r3dlint: %v\n", err)
 		return 2
+	}
+
+	if *fixBaseline {
+		kept, dropped, err := lint.PruneBaseline(*baseline, m.Dir, findings)
+		if err != nil {
+			printf(stderr, "r3dlint: %v\n", err)
+			return 2
+		}
+		printf(stderr, "r3dlint: baseline %s: kept %d entr%s, dropped %d stale\n",
+			*baseline, kept, plural(kept, "y", "ies"), dropped)
 	}
 
 	if *baseline != "" {

@@ -37,7 +37,7 @@ func TestFixtureTextOutput(t *testing.T) {
 	if want := golden(t, "golden.txt"); out != want {
 		t.Errorf("text output mismatch\n--- got ---\n%s--- want ---\n%s", out, want)
 	}
-	if !strings.Contains(stderr, "8 finding(s)") {
+	if !strings.Contains(stderr, "12 finding(s)") {
 		t.Errorf("stderr %q does not report the finding count", stderr)
 	}
 }
@@ -58,8 +58,8 @@ func TestFixtureJSONOutputIsByteStable(t *testing.T) {
 	if err := json.Unmarshal([]byte(first), &parsed); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v", err)
 	}
-	if len(parsed) != 8 {
-		t.Errorf("parsed %d findings, want 8", len(parsed))
+	if len(parsed) != 12 {
+		t.Errorf("parsed %d findings, want 12", len(parsed))
 	}
 }
 
@@ -140,12 +140,79 @@ func TestUsageAndLoadErrorsExit2(t *testing.T) {
 	}
 }
 
+func TestFixBaselineDropsStaleEntries(t *testing.T) {
+	_, js, _ := runCLI(t, "-json", fixture)
+	var entries []map[string]any
+	if err := json.Unmarshal([]byte(js), &entries); err != nil {
+		t.Fatal(err)
+	}
+	entries = append(entries, map[string]any{
+		"file": "internal/model/gone.go", "line": 1, "col": 1,
+		"check": "maporder", "message": "a finding that no longer exists",
+	})
+	padded, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, padded, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, stderr := runCLI(t, "-baseline", base, "-fix-baseline", fixture)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "kept 12 entries, dropped 1 stale") {
+		t.Errorf("stderr does not report the prune: %s", stderr)
+	}
+	// The rewritten file must now match the live findings exactly: a
+	// second plain -baseline run sees no stale entries and no findings.
+	rewritten, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(rewritten), "gone.go") {
+		t.Error("stale entry survived -fix-baseline")
+	}
+	code, out, stderr := runCLI(t, "-baseline", base, fixture)
+	if code != 0 || out != "" || strings.Contains(stderr, "stale") {
+		t.Errorf("pruned baseline not clean: exit %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+}
+
+func TestFixBaselineRequiresBaseline(t *testing.T) {
+	if code, _, _ := runCLI(t, "-fix-baseline", fixture); code != 2 {
+		t.Errorf("-fix-baseline without -baseline: exit %d, want 2", code)
+	}
+}
+
+// TestRealModuleJSONByteIdentical runs the CLI twice over the real
+// module — two fully independent parse/typecheck/analyze passes — and
+// requires byte-identical -json output (and a clean module).
+func TestRealModuleJSONByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module twice")
+	}
+	code, first, stderr := runCLI(t, "-json", "../..")
+	if code != 0 {
+		t.Fatalf("real module not clean: exit %d\n%s\n%s", code, first, stderr)
+	}
+	code, second, _ := runCLI(t, "-json", "../..")
+	if code != 0 {
+		t.Fatalf("second run: exit %d", code)
+	}
+	if first != second {
+		t.Errorf("-json output differs between two full-module runs\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
 func TestListExitsZero(t *testing.T) {
 	code, out, _ := runCLI(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	for _, name := range []string{"maporder", "globalrand", "wallclock", "floatcmp", "errdrop", "gocapture", "dettaint", "units"} {
+	for _, name := range []string{"maporder", "globalrand", "wallclock", "floatcmp", "errdrop", "gocapture", "dettaint", "units", "mutexguard", "lockorder", "blockhold"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %s", name)
 		}

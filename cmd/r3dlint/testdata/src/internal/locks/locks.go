@@ -1,0 +1,64 @@
+// Package locks seeds one violation per v3 concurrency analyzer —
+// mutexguard (unlocked write, write under read lock), lockorder (an
+// A/B inversion), and blockhold (a channel send inside a critical
+// section) — so the golden test pins each analyzer's exact output.
+package locks
+
+import "sync"
+
+// Ledger is annotated shared state with two mutexes whose acquisition
+// order the seeded methods invert.
+type Ledger struct {
+	mu sync.Mutex
+	// r3dlint:guardedby mu
+	total int
+
+	rw sync.RWMutex
+	// r3dlint:guardedby rw
+	entries map[string]int
+
+	other sync.Mutex
+	ch    chan int
+}
+
+// Deposit is the correct pattern: exclusive lock around the write.
+func (l *Ledger) Deposit(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total += n
+}
+
+// Skim writes guarded state without taking the lock.
+func (l *Ledger) Skim() {
+	l.total++
+}
+
+// Set mutates the map while holding only the read lock.
+func (l *Ledger) Set(k string, v int) {
+	l.rw.RLock()
+	defer l.rw.RUnlock()
+	l.entries[k] = v
+}
+
+// Nest takes other inside mu; Unnest takes mu inside other — the
+// classic inversion.
+func (l *Ledger) Nest() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.other.Lock()
+	defer l.other.Unlock()
+}
+
+func (l *Ledger) Unnest() {
+	l.other.Lock()
+	defer l.other.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+}
+
+// Publish sends on an unbuffered channel with mu held.
+func (l *Ledger) Publish(v int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ch <- v
+}

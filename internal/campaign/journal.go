@@ -71,9 +71,11 @@ func gridFingerprint(specs []TrialSpec) (string, error) {
 }
 
 type journal struct {
-	mu  sync.Mutex
-	f   *os.File
-	n   int64 // bytes committed (header + intact records)
+	mu sync.Mutex
+	f  *os.File // handle is immutable after openJournal; writes serialize on mu
+	// r3dlint:guardedby mu
+	n int64 // bytes committed (header + intact records)
+	// r3dlint:guardedby mu
 	err error // first append error, surfaced at close
 }
 
@@ -227,6 +229,7 @@ func (j *journal) append(out TrialOutcome) {
 		j.err = err
 		return
 	}
+	//lint:ignore blockhold the append must commit inside the critical section so j.n and the file prefix stay in lockstep for checkpoint offsets
 	if _, err := j.f.Write(append(enc, '\n')); err != nil {
 		j.err = fmt.Errorf("campaign: journal append: %w", err)
 		return
@@ -249,6 +252,7 @@ func (j *journal) sync() {
 	if j.err != nil {
 		return
 	}
+	//lint:ignore blockhold fsync under the lock keeps late appends from racing the drain-path flush; called once per campaign, not per trial
 	if err := j.f.Sync(); err != nil {
 		j.err = fmt.Errorf("campaign: journal sync: %w", err)
 	}
@@ -257,6 +261,7 @@ func (j *journal) sync() {
 func (j *journal) close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	//lint:ignore blockhold close runs once at campaign teardown after the workers have drained; holding mu orders it after any straggling append
 	if err := j.f.Close(); j.err == nil && err != nil {
 		j.err = fmt.Errorf("campaign: close journal: %w", err)
 	}

@@ -121,7 +121,8 @@ type Session struct {
 
 	// thermalMu guards solvers and serializes whole thermal solves.
 	thermalMu sync.Mutex
-	solvers   map[string]*thermal.Solver
+	// r3dlint:guardedby thermalMu
+	solvers map[string]*thermal.Solver
 
 	// thermalWarn counts solves that hit ThermalMaxIters before reaching
 	// ThermalTolC (see ThermalResult.Converged).

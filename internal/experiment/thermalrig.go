@@ -159,6 +159,7 @@ func (s *Session) SolveThermalDetailed(c ThermalCase) (*thermal.Solver, ThermalR
 			return nil, ThermalResult{}, err
 		}
 	}
+	//lint:ignore blockhold serializing whole solves under thermalMu is the current contract: warm-started solvers are stateful and solve order changes the byte-exact result (ROADMAP item 2 parallelizes against this line)
 	iters, converged := solver.Solve(s.Q.ThermalTolC, s.Q.ThermalMaxIters)
 	if !converged {
 		s.thermalWarn.Add(1)

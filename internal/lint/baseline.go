@@ -98,6 +98,52 @@ func LoadBaseline(path string) (*Baseline, error) {
 	return NewBaseline(accepted), nil
 }
 
+// PruneBaseline rewrites the baseline file at path, dropping entries
+// that no longer match any current finding (the entries Apply would
+// report as stale). Entries keep their file order; with duplicate keys
+// the earliest occurrences are kept first, mirroring Apply's matching.
+// Returns how many entries were kept and how many were dropped. The
+// file is rewritten only when at least one entry was dropped.
+func PruneBaseline(path, root string, findings []Finding) (kept, dropped int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	var accepted []JSONFinding
+	if err := json.Unmarshal(data, &accepted); err != nil {
+		return 0, 0, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+
+	// How many findings currently exist per key: an entry survives only
+	// while its key still has live findings to absorb.
+	live := map[string]int{}
+	for _, f := range ToJSON(root, findings) {
+		live[baselineKey(f)]++
+	}
+	pruned := make([]JSONFinding, 0, len(accepted))
+	for _, e := range accepted {
+		k := baselineKey(e)
+		if live[k] > 0 {
+			live[k]--
+			pruned = append(pruned, e)
+			continue
+		}
+		dropped++
+	}
+	kept = len(pruned)
+	if dropped == 0 {
+		return kept, 0, nil
+	}
+	out, err := json.MarshalIndent(pruned, "", "  ")
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return 0, 0, err
+	}
+	return kept, dropped, nil
+}
+
 // Apply splits findings into regressions (not covered by the baseline —
 // these fail the run) and returns the stale baseline entries that
 // matched nothing (candidates for deletion, reported but not fatal).

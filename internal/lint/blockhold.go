@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"strings"
+)
+
+// BlockHold flags blocking operations — channel sends/receives, selects
+// without a default, time.Sleep, file and network I/O, WaitGroup/Cond
+// waits, and calls to functions annotated `// r3dlint:blocks <reason>`
+// (e.g. a whole-grid thermal solve) — reached while a mutex is held.
+// Blocking reached through calls is reported at the frontier: the call
+// site inside the critical section, with the chain down to the actual
+// operation spelled out dettaint-style. A reasoned
+// `//lint:ignore blockhold <reason>` on the operation itself stops
+// propagation, so a justified block (a journal fsync that must sit
+// inside the commit critical section) does not taint every caller.
+var BlockHold = &Analyzer{
+	Name:      "blockhold",
+	Doc:       "blocking operation reached while a mutex is held",
+	RunModule: runBlockHold,
+}
+
+func runBlockHold(mp *ModulePass) {
+	prog := buildLockProgram(mp.Pkgs)
+	la := newLockAnalysis(prog)
+
+	// blockChain[f] explains why calling f may block: the positional-
+	// first chain from f to a blocking operation. Seeds whose operation
+	// carries a reasoned blockhold directive are skipped and do not
+	// propagate.
+	blockChain := map[*fnFacts]string{}
+	for _, n := range prog.nodes {
+		for _, b := range n.blocks {
+			if mp.SuppressedAt(b.pos, "blockhold") {
+				continue
+			}
+			blockChain[n] = n.name + " → " + b.desc
+			break
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range prog.nodes {
+			if _, ok := blockChain[n]; ok {
+				continue
+			}
+			for _, c := range n.calls {
+				if c.kind != callNormal {
+					continue // goroutines block on their own time; defers run at exit
+				}
+				if chain, ok := callBlockChain(mp, prog, la, blockChain, c); ok {
+					blockChain[n] = n.name + " → " + chain
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Findings at the frontier: a blocking operation or a call to a
+	// blocking function, at a point where this function itself holds a
+	// lock locally. Inherited (entry-held) locks are deliberately not
+	// reported here — the caller that actually took the lock holds the
+	// critical section and gets the finding at its own call site.
+	for _, n := range prog.nodes {
+		for _, b := range n.blocks {
+			if len(b.held) == 0 || mp.SuppressedAt(b.pos, "blockhold") {
+				continue
+			}
+			mp.Reportf(b.pos, "%s while %s held", b.desc, heldNames(b.held))
+		}
+		for _, c := range n.calls {
+			if c.kind != callNormal || len(c.held) == 0 {
+				continue
+			}
+			chain, ok := callBlockChain(mp, prog, la, blockChain, c)
+			if !ok {
+				continue
+			}
+			mp.Reportf(c.pos, "call may block (%s) while %s held", chain, heldNames(c.held))
+		}
+	}
+}
+
+// callBlockChain explains why the call c may block: the callee is
+// annotated r3dlint:blocks, or it transitively reaches a blocking
+// operation. A reasoned blockhold directive at the call site stops the
+// classification (and, during the fixpoint, propagation past it).
+func callBlockChain(mp *ModulePass, prog *lockProgram, la *lockAnalysis, blockChain map[*fnFacts]string, c lockCall) (string, bool) {
+	if mp.SuppressedAt(c.pos, "blockhold") {
+		return "", false
+	}
+	if reason, ok := prog.blocksAnn[c.callee]; ok {
+		return c.callee.Name() + " (" + reason + ")", true
+	}
+	for _, callee := range la.calleeFacts(c) {
+		if chain, ok := blockChain[callee]; ok {
+			return chain, true
+		}
+	}
+	return "", false
+}
+
+// heldNames renders a held-set for messages, e.g.
+// "runsched.Engine.mu", or "a and b" when several are held.
+func heldNames(h heldSet) string {
+	var names []string
+	for _, id := range sortedHeld(h) {
+		names = append(names, id.display())
+	}
+	switch len(names) {
+	case 1:
+		return names[0] + " is"
+	default:
+		return strings.Join(names, " and ") + " are"
+	}
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBlockHoldDirectOps(t *testing.T) {
+	src := `package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (x *q) badSend(v int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ch <- v // channel send under the lock
+}
+
+func (x *q) badSleep() {
+	x.mu.Lock()
+	time.Sleep(time.Millisecond)
+	x.mu.Unlock()
+}
+
+func (x *q) goodSend(v int) {
+	x.mu.Lock()
+	x.mu.Unlock()
+	x.ch <- v // lock released first
+}
+`
+	got := findings(t, BlockHold, modelPath, src)
+	wantChecks(t, got, "blockhold", "blockhold")
+	if !strings.Contains(got[0].Message, "channel send") || !strings.Contains(got[0].Message, "fixture.q.mu") {
+		t.Errorf("send finding should name op and mutex: %s", got[0].Message)
+	}
+	if !strings.Contains(got[1].Message, "time.Sleep") {
+		t.Errorf("sleep finding: %s", got[1].Message)
+	}
+}
+
+// TestBlockHoldUnlockBeforeReceive is the runsched.Get idiom: register
+// under the lock, release it, then wait — the wait must not be flagged.
+func TestBlockHoldUnlockBeforeReceive(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type memo struct {
+	mu   sync.Mutex
+	done map[string]chan struct{}
+}
+
+func (m *memo) Wait(k string) {
+	m.mu.Lock()
+	c, ok := m.done[k]
+	if !ok {
+		c = make(chan struct{})
+		m.done[k] = c
+	}
+	m.mu.Unlock()
+	<-c
+}
+`
+	wantChecks(t, findings(t, BlockHold, modelPath, src))
+}
+
+func TestBlockHoldSelect(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (x *s) blocking() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	select { // no default: parks the goroutine with the lock held
+	case v := <-x.ch:
+		return v
+	}
+}
+
+func (x *s) polling() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	select {
+	case v := <-x.ch:
+		return v
+	default:
+		return 0
+	}
+}
+`
+	got := findings(t, BlockHold, modelPath, src)
+	wantChecks(t, got, "blockhold")
+	if !strings.Contains(got[0].Message, "select without default") {
+		t.Errorf("select finding: %s", got[0].Message)
+	}
+}
+
+// TestBlockHoldThroughCalls: the I/O sits two calls down; the finding
+// lands at the frontier — the call made inside the critical section —
+// with the chain to the real operation spelled out.
+func TestBlockHoldThroughCalls(t *testing.T) {
+	src := `package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (j *journal) flush() error {
+	return j.f.Sync()
+}
+
+func (j *journal) persist() error {
+	return j.flush()
+}
+
+func (j *journal) Commit() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.persist()
+}
+`
+	got := findings(t, BlockHold, modelPath, src)
+	wantChecks(t, got, "blockhold")
+	msg := got[0].Message
+	if !strings.Contains(msg, "persist → flush → (*os.File).Sync") {
+		t.Errorf("finding should spell out the chain to the I/O: %s", msg)
+	}
+	if !strings.Contains(msg, "journal.mu") {
+		t.Errorf("finding should name the held mutex: %s", msg)
+	}
+}
+
+// TestBlockHoldAnnotatedFunction: `r3dlint:blocks` marks a module
+// function as blocking by contract (the thermal solver's whole-grid
+// solve), so calling it under a mutex is flagged without any I/O in
+// sight.
+func TestBlockHoldAnnotatedFunction(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type solver struct{ cells []float64 }
+
+// Solve relaxes the whole grid to convergence.
+//
+// r3dlint:blocks whole-grid iterative solve, milliseconds per call
+func (s *solver) Solve() int {
+	n := 0
+	for i := range s.cells {
+		s.cells[i] *= 0.5
+		n++
+	}
+	return n
+}
+
+type rig struct {
+	mu sync.Mutex
+	s  solver
+}
+
+func (r *rig) step() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s.Solve()
+}
+`
+	got := findings(t, BlockHold, modelPath, src)
+	wantChecks(t, got, "blockhold")
+	if !strings.Contains(got[0].Message, "Solve (whole-grid iterative solve, milliseconds per call)") {
+		t.Errorf("annotated-blocking finding should carry the contract reason: %s", got[0].Message)
+	}
+}
+
+// TestBlockHoldSuppressionStopsPropagation: a reasoned directive on the
+// blocking operation keeps the whole call chain clean, dettaint-style —
+// the justification covers every path through it.
+func TestBlockHoldSuppressionStopsPropagation(t *testing.T) {
+	src := `package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+type wal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (w *wal) appendRec(b []byte) error {
+	//lint:ignore blockhold the WAL write must commit inside the critical section for crash atomicity
+	_, err := w.f.Write(b)
+	return err
+}
+
+func (w *wal) Commit(b []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendRec(b)
+}
+`
+	wantChecks(t, findings(t, BlockHold, modelPath, src))
+}
+
+func TestBlockHoldWaitGroup(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+func (p *pool) drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wg.Wait()
+}
+`
+	got := findings(t, BlockHold, modelPath, src)
+	wantChecks(t, got, "blockhold")
+	if !strings.Contains(got[0].Message, "(*sync.WaitGroup).Wait") {
+		t.Errorf("wait finding: %s", got[0].Message)
+	}
+}

@@ -1,0 +1,473 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"r3d/internal/detmap"
+)
+
+// This file is the shared infrastructure of the v3 concurrency suite
+// (mutexguard, lockorder, blockhold): it parses the lock-contract
+// annotations, resolves mutex identities, and walks every function body
+// with a flow-sensitive locks-held abstract state, collecting the facts
+// — guarded-field accesses, lock acquisitions, blocking operations and
+// call sites, each with the held-set at that program point — that the
+// three analyzers then combine with interprocedural propagation over
+// the module call graph.
+//
+// Annotation grammar (ordinary comments, scanned here, distinct from
+// //lint:ignore suppressions):
+//
+//	// r3dlint:guardedby <mutex>
+//	    on a struct field (or a package-level var): every read of the
+//	    annotated state must happen with <mutex> held (RLock suffices
+//	    for an RWMutex), every write with it held exclusively. <mutex>
+//	    names a sibling field of the same struct or a package-level
+//	    mutex variable.
+//
+//	// r3dlint:blocks <reason>
+//	    on a function declaration: calling this function is a blocking
+//	    operation (e.g. a whole-grid thermal solve), so reaching it
+//	    while a mutex is held is a blockhold finding in the caller.
+//
+// Mutex identity is type-scoped: s.mu and t.mu on two instances of the
+// same struct resolve to the same identity. That conflates instances —
+// the standard @GuardedBy approximation — and is documented in the
+// README; per-instance aliasing (a *sync.Mutex stored into a local and
+// locked through it) is not tracked.
+const (
+	guardedByMarker = "r3dlint:guardedby"
+	blocksMarker    = "r3dlint:blocks"
+)
+
+// A lockID canonically names one mutex: "pkg/path.Type.field" for a
+// struct field (including an embedded sync.Mutex), "pkg/path.name" for
+// a package-level variable.
+type lockID string
+
+// display shortens a lockID for findings: the part after the last
+// path separator, e.g. "experiment.Session.thermalMu".
+func (id lockID) display() string {
+	s := string(id)
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// lockMode is the strength a mutex is held with at a program point.
+type lockMode int
+
+const (
+	lockNone  lockMode = iota
+	lockRead           // RLock held
+	lockWrite          // Lock held (exclusive; satisfies read accesses too)
+)
+
+// heldSet maps each held mutex to the strongest mode it is held with.
+// The walker mutates one set in place along straight-line code and
+// clones it at branch points.
+type heldSet map[lockID]lockMode
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	//lint:ignore maporder map-to-map copy; each key written exactly once, order-independent
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// acquire records holding id at least at mode (an RLock never weakens
+// an already-exclusive hold).
+func (h heldSet) acquire(id lockID, mode lockMode) {
+	if h[id] < mode {
+		h[id] = mode
+	}
+}
+
+// union returns entry ∪ h with the stronger mode winning; a nil entry
+// is ⊤ (unknown-yet in the fixpoint) and absorbs everything.
+func unionHeld(entry, h heldSet) heldSet {
+	if entry == nil {
+		return nil
+	}
+	out := entry.clone()
+	//lint:ignore maporder max-merge touches each key independently; order cannot affect the result
+	for k, v := range h {
+		if out[k] < v {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// intersectHeld returns the meet of two concrete held-sets: a mutex is
+// in the result only if both sides hold it, at the weaker mode.
+func intersectHeld(a, b heldSet) heldSet {
+	out := heldSet{}
+	//lint:ignore maporder per-key meet; each result entry depends only on its own key in a and b
+	for k, v := range a {
+		if bv, ok := b[k]; ok {
+			if bv < v {
+				v = bv
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func heldEqual(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	//lint:ignore maporder pure equality probe; no observable order dependence
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedHeld returns the held mutexes in canonical order for messages.
+func sortedHeld(h heldSet) []lockID {
+	return detmap.SortedKeys(h)
+}
+
+// guardDecl is one parsed r3dlint:guardedby annotation.
+type guardDecl struct {
+	guard   lockID
+	guardRW bool   // the guard is an RWMutex (read accesses may use RLock)
+	target  string // display name of the guarded state, e.g. "Engine.results"
+	pos     token.Pos
+}
+
+// callKind distinguishes how a call site runs relative to the caller's
+// locks: a plain call inherits them, a `go` call starts with none, and
+// a deferred call runs at function exit where the held-set is no longer
+// tracked.
+type callKind int
+
+const (
+	callNormal callKind = iota
+	callGo
+	callDefer
+)
+
+// lockCall is one call site with the locks held at it.
+type lockCall struct {
+	callee     *types.Func
+	candidates []*types.Func // interface-dispatch fallback targets
+	pos        token.Pos
+	held       heldSet
+	kind       callKind
+}
+
+// guardAccess is one read or write of guarded state.
+type guardAccess struct {
+	target *types.Var // the annotated field or package var
+	guard  lockID
+	rw     bool
+	pos    token.Pos
+	write  bool
+	held   heldSet
+}
+
+// lockAcquire is one Lock/RLock call, with the locks already held when
+// it executes (the lock-order edges' sources).
+type lockAcquire struct {
+	id   lockID
+	mode lockMode
+	pos  token.Pos
+	held heldSet
+}
+
+// blockOp is one directly blocking operation (channel op, sleep, I/O).
+type blockOp struct {
+	desc string
+	pos  token.Pos
+	held heldSet
+}
+
+// fnFacts is the walker's output for one function body. Function
+// literals get their own facts node with an empty entry context: a
+// literal typically runs on a fresh goroutine or at defer time, where
+// the enclosing function's locks are not (or no longer) held.
+type fnFacts struct {
+	fn       *types.Func // nil for function literals
+	pkg      *Package
+	name     string // display name for chains
+	pos      token.Pos
+	isLit    bool
+	accesses []guardAccess
+	calls    []lockCall
+	acquires []lockAcquire
+	blocks   []blockOp
+}
+
+// annErr is a malformed lock annotation, reported by mutexguard.
+type annErr struct {
+	pos token.Pos
+	msg string
+}
+
+// lockProgram is the whole-module fact base shared by the three
+// concurrency analyzers.
+type lockProgram struct {
+	fset      *token.FileSet
+	nodes     []*fnFacts // declared functions then literals, position order
+	byFn      map[*types.Func]*fnFacts
+	guards    map[*types.Var]guardDecl
+	blocksAnn map[*types.Func]string // r3dlint:blocks reason per function
+	annErrs   []annErr
+	valueRef  map[*types.Func]bool // functions referenced as values (escape analysis)
+}
+
+// buildLockProgram collects annotations and walks every function of the
+// module. It is rebuilt per analyzer run (like BuildCallGraph), keeping
+// the analyzers independent.
+func buildLockProgram(pkgs []*Package) *lockProgram {
+	p := &lockProgram{
+		fset:      fsetOf(pkgs),
+		byFn:      map[*types.Func]*fnFacts{},
+		guards:    map[*types.Var]guardDecl{},
+		blocksAnn: map[*types.Func]string{},
+		valueRef:  map[*types.Func]bool{},
+	}
+	for _, pkg := range pkgs {
+		p.collectAnnotations(pkg)
+	}
+	ir := newIfaceResolver(pkgs)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				facts := &fnFacts{fn: obj, pkg: pkg, name: obj.Name(), pos: fd.Pos()}
+				p.nodes = append(p.nodes, facts)
+				p.byFn[obj] = facts
+				w := &lockWalker{prog: p, pkg: pkg, ir: ir, facts: facts}
+				w.walkStmt(fd.Body, heldSet{})
+			}
+		}
+	}
+	sort.Slice(p.nodes, func(i, j int) bool { return p.nodes[i].pos < p.nodes[j].pos })
+	return p
+}
+
+// collectAnnotations parses r3dlint:guardedby (struct fields and
+// package vars) and r3dlint:blocks (function declarations) in pkg.
+func (p *lockProgram) collectAnnotations(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if reason, ok := markerIn(blocksMarker, d.Doc); ok {
+					if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+						if reason == "" {
+							reason = "annotated blocking operation"
+						}
+						p.blocksAnn[fn] = reason
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						st, ok := s.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						p.collectFieldGuards(pkg, s, st)
+					case *ast.ValueSpec:
+						p.collectVarGuard(pkg, d, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// markerIn scans the comment groups for a line starting with marker and
+// returns the text after it.
+func markerIn(marker string, groups ...*ast.CommentGroup) (string, bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, marker); ok {
+				return strings.TrimSpace(rest), true
+			}
+		}
+	}
+	return "", false
+}
+
+// collectFieldGuards registers the guardedby annotations of one struct
+// declaration. The named mutex must be a sibling field of mutex type or
+// a package-level mutex variable.
+func (p *lockProgram) collectFieldGuards(pkg *Package, ts *ast.TypeSpec, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		spec, ok := markerIn(guardedByMarker, field.Doc, field.Comment)
+		if !ok {
+			continue
+		}
+		name := firstField(spec)
+		if name == "" {
+			p.annErrs = append(p.annErrs, annErr{pos: field.Pos(), msg: "malformed annotation: want // r3dlint:guardedby <mutex>"})
+			continue
+		}
+		id, rw, ok := p.resolveGuard(pkg, ts, st, name)
+		if !ok {
+			p.annErrs = append(p.annErrs, annErr{
+				pos: field.Pos(),
+				msg: fmt.Sprintf("r3dlint:guardedby names %q, which is neither a sibling mutex field of %s nor a package-level mutex", name, ts.Name.Name),
+			})
+			continue
+		}
+		for _, ident := range field.Names {
+			if v, ok := pkg.Info.Defs[ident].(*types.Var); ok {
+				p.guards[v] = guardDecl{
+					guard: id, guardRW: rw,
+					target: ts.Name.Name + "." + ident.Name,
+					pos:    field.Pos(),
+				}
+			}
+		}
+	}
+}
+
+// collectVarGuard registers a guardedby annotation on a package-level
+// var declaration (guarding global state with a global mutex).
+func (p *lockProgram) collectVarGuard(pkg *Package, d *ast.GenDecl, vs *ast.ValueSpec) {
+	spec, ok := markerIn(guardedByMarker, vs.Doc, vs.Comment, d.Doc)
+	if !ok {
+		return
+	}
+	name := firstField(spec)
+	if name == "" {
+		p.annErrs = append(p.annErrs, annErr{pos: vs.Pos(), msg: "malformed annotation: want // r3dlint:guardedby <mutex>"})
+		return
+	}
+	id, rw, ok := p.packageMutex(pkg, name)
+	if !ok {
+		p.annErrs = append(p.annErrs, annErr{
+			pos: vs.Pos(),
+			msg: fmt.Sprintf("r3dlint:guardedby names %q, which is not a package-level mutex in %s", name, pkg.Types.Name()),
+		})
+		return
+	}
+	for _, ident := range vs.Names {
+		if v, ok := pkg.Info.Defs[ident].(*types.Var); ok {
+			p.guards[v] = guardDecl{
+				guard: id, guardRW: rw,
+				target: pkg.Types.Name() + "." + ident.Name,
+				pos:    vs.Pos(),
+			}
+		}
+	}
+}
+
+func firstField(s string) string {
+	fs := strings.Fields(s)
+	if len(fs) == 0 {
+		return ""
+	}
+	return fs[0]
+}
+
+// resolveGuard resolves a guardedby mutex name against the annotated
+// struct's sibling fields, then the package scope.
+func (p *lockProgram) resolveGuard(pkg *Package, ts *ast.TypeSpec, st *ast.StructType, name string) (lockID, bool, bool) {
+	for _, f := range st.Fields.List {
+		for _, ident := range f.Names {
+			if ident.Name != name {
+				continue
+			}
+			v, ok := pkg.Info.Defs[ident].(*types.Var)
+			if !ok {
+				return "", false, false
+			}
+			rw, isMu := mutexType(v.Type())
+			if !isMu {
+				return "", false, false
+			}
+			return lockID(pkg.Path + "." + ts.Name.Name + "." + name), rw, true
+		}
+		// An embedded sync.Mutex can be named by its type name.
+		if len(f.Names) == 0 {
+			if tn := embeddedName(f.Type); tn == name {
+				if tv, ok := pkg.Info.Types[f.Type]; ok {
+					if rw, isMu := mutexType(tv.Type); isMu {
+						return lockID(pkg.Path + "." + ts.Name.Name + "." + name), rw, true
+					}
+				}
+			}
+		}
+	}
+	return p.packageMutex(pkg, name)
+}
+
+// packageMutex resolves name to a package-level mutex variable.
+func (p *lockProgram) packageMutex(pkg *Package, name string) (lockID, bool, bool) {
+	v, ok := pkg.Types.Scope().Lookup(name).(*types.Var)
+	if !ok {
+		return "", false, false
+	}
+	rw, isMu := mutexType(v.Type())
+	if !isMu {
+		return "", false, false
+	}
+	return lockID(pkg.Path + "." + name), rw, true
+}
+
+// embeddedName returns the bare type name of an embedded field.
+func embeddedName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	}
+	return ""
+}
+
+// mutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex; rw is true for the latter.
+func mutexType(t types.Type) (rw, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockOrderInversion(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+`
+	got := findings(t, LockOrder, modelPath, src)
+	wantChecks(t, got, "lockorder")
+	msg := got[0].Message
+	if !strings.Contains(msg, "fixture.pair.a → fixture.pair.b") || !strings.Contains(msg, "fixture.pair.b → fixture.pair.a") {
+		t.Errorf("cycle message should show both directions: %s", msg)
+	}
+}
+
+func TestLockOrderConsistentIsClean(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) one() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+func (p *pair) two() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+`
+	wantChecks(t, findings(t, LockOrder, modelPath, src))
+}
+
+// TestLockOrderThroughCalls: the inversion hides behind a call — one
+// side acquires B directly under A, the other reaches A through a
+// helper while holding B.
+func TestLockOrderThroughCalls(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type sys struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+func (s *sys) lockA() {
+	s.a.Lock()
+	s.n++
+	s.a.Unlock()
+}
+
+func (s *sys) forward() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+func (s *sys) backward() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.lockA() // acquires a while b is held
+}
+`
+	got := findings(t, LockOrder, modelPath, src)
+	wantChecks(t, got, "lockorder")
+	msg := got[0].Message
+	// The b→a hop may be witnessed either at backward's call into lockA
+	// (with the chain) or at the Lock inside lockA itself (whose
+	// entry-held set includes b); both are the same inversion.
+	if !strings.Contains(msg, "fixture.sys.a → fixture.sys.b") || !strings.Contains(msg, "fixture.sys.b → fixture.sys.a") {
+		t.Errorf("cycle should include the call-mediated hop: %s", msg)
+	}
+}
+
+// TestLockOrderGoroutineNoEdge: spawning a goroutine that takes B while
+// the spawner holds A is not a nesting — the goroutine does not hold A.
+func TestLockOrderGoroutineNoEdge(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type sys struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *sys) fanout() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	go func() {
+		s.b.Lock()
+		s.a.Lock() // fresh goroutine: holds neither at this point's entry
+		s.a.Unlock()
+		s.b.Unlock()
+	}()
+	s.b.Lock()
+	s.b.Unlock()
+}
+`
+	// The literal alone creates b→a; fanout creates a→b. Both paths are
+	// real code on distinct goroutines, which is exactly the deadlock
+	// scenario — the cycle must still be reported, but only via the
+	// held-sets actually accumulated per goroutine.
+	got := findings(t, LockOrder, modelPath, src)
+	wantChecks(t, got, "lockorder")
+}
+
+func TestLockOrderSelfDeadlock(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var mu sync.Mutex
+
+func oops() {
+	mu.Lock()
+	mu.Lock() // second acquire on the same goroutine: guaranteed hang
+	mu.Unlock()
+	mu.Unlock()
+}
+`
+	got := findings(t, LockOrder, modelPath, src)
+	wantChecks(t, got, "lockorder")
+	if !strings.Contains(got[0].Message, "self-deadlock") {
+		t.Errorf("want self-deadlock message: %s", got[0].Message)
+	}
+}
+
+func TestLockOrderSuppression(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	//lint:ignore lockorder shutdown path, provably never concurrent with ab
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+`
+	wantChecks(t, findings(t, LockOrder, modelPath, src))
+}

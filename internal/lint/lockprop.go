@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file computes the interprocedural layer the concurrency
+// analyzers share: for every function, the set of locks guaranteed to
+// be held on entry (the meet over all observed call sites), plus the
+// reverse call edges needed to print "unlocked path" chains.
+
+// callerSite is one observed call of a function: who called it and what
+// was held at the site (entry-held of the caller not yet folded in).
+type callerSite struct {
+	caller *fnFacts
+	call   lockCall
+}
+
+// lockAnalysis augments a lockProgram with entry-held sets.
+type lockAnalysis struct {
+	prog    *lockProgram
+	entry   map[*fnFacts]heldSet // never nil after newLockAnalysis
+	callers map[*fnFacts][]callerSite
+}
+
+func newLockAnalysis(prog *lockProgram) *lockAnalysis {
+	la := &lockAnalysis{
+		prog:    prog,
+		entry:   map[*fnFacts]heldSet{},
+		callers: map[*fnFacts][]callerSite{},
+	}
+
+	// Reverse edges. Interface-dispatch candidates each receive the
+	// site, conservatively.
+	for _, n := range prog.nodes {
+		for _, c := range n.calls {
+			for _, target := range la.calleeFacts(c) {
+				la.callers[target] = append(la.callers[target], callerSite{caller: n, call: c})
+			}
+		}
+	}
+
+	// Entry-held fixpoint. Roots — functions with no observed caller,
+	// functions referenced as values (they may run from anywhere), and
+	// function literals (fresh goroutine / deferred context) — start and
+	// stay at ∅. Everything else starts at ⊤ (nil) and shrinks
+	// monotonically to the intersection over its call sites of
+	// entry(caller) ∪ heldAtSite; go and defer sites contribute ∅
+	// because a new goroutine does not hold its spawner's locks and a
+	// deferred call runs after the body's paired unlocks.
+	for _, n := range prog.nodes {
+		if n.isLit || len(la.callers[n]) == 0 || (n.fn != nil && prog.valueRef[n.fn]) {
+			la.entry[n] = heldSet{}
+		} else {
+			la.entry[n] = nil // ⊤
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range prog.nodes {
+			if la.entry[n] != nil && len(la.entry[n]) == 0 && (n.isLit || (n.fn != nil && prog.valueRef[n.fn])) {
+				continue // pinned root
+			}
+			if len(la.callers[n]) == 0 {
+				continue
+			}
+			var meet heldSet // ⊤
+			for _, site := range la.callers[n] {
+				var contrib heldSet
+				if site.call.kind != callNormal {
+					contrib = heldSet{}
+				} else {
+					contrib = unionHeld(la.entry[site.caller], site.call.held)
+				}
+				if contrib == nil {
+					continue // caller still ⊤; absorbs
+				}
+				if meet == nil {
+					meet = contrib.clone()
+				} else {
+					meet = intersectHeld(meet, contrib)
+				}
+			}
+			if meet == nil {
+				continue // every caller still ⊤
+			}
+			if la.entry[n] == nil || !heldEqual(la.entry[n], meet) {
+				// nil (⊤) only ever shrinks to a concrete set, and
+				// intersection keeps shrinking it, so this terminates.
+				la.entry[n] = meet
+				changed = true
+			}
+		}
+	}
+	// Anything still ⊤ sits on a caller cycle unreachable from any
+	// root; assume nothing about its locks so its accesses still get
+	// checked.
+	for _, n := range prog.nodes {
+		if la.entry[n] == nil {
+			la.entry[n] = heldSet{}
+		}
+	}
+	return la
+}
+
+// calleeFacts resolves a call site to the module facts nodes it may
+// reach: the static callee if module-defined, else the conservative
+// interface-dispatch candidates.
+func (la *lockAnalysis) calleeFacts(c lockCall) []*fnFacts {
+	if n, ok := la.prog.byFn[c.callee]; ok {
+		return []*fnFacts{n}
+	}
+	var out []*fnFacts
+	for _, cand := range c.candidates {
+		if n, ok := la.prog.byFn[cand.Origin()]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// entryOf returns the locks guaranteed held when n is entered.
+func (la *lockAnalysis) entryOf(n *fnFacts) heldSet {
+	return la.entry[n]
+}
+
+// effectiveHeld is the full held-set at a program point: the function's
+// guaranteed entry locks joined with the locally tracked ones.
+func (la *lockAnalysis) effectiveHeld(n *fnFacts, local heldSet) heldSet {
+	return unionHeld(la.entryOf(n), local)
+}
+
+// unlockedPath reconstructs one deterministic call chain ending at n
+// along which id is never held, for "how did we get here without the
+// lock" messages. Returns "" when n is itself a root (directly
+// reachable with nothing held).
+func (la *lockAnalysis) unlockedPath(n *fnFacts, id lockID) string {
+	type step struct {
+		node *fnFacts
+		prev *step
+	}
+	seen := map[*fnFacts]bool{n: true}
+	queue := []*step{{node: n}}
+	var rootStep *step
+	for len(queue) > 0 && rootStep == nil {
+		s := queue[0]
+		queue = queue[1:]
+		sites := la.callers[s.node]
+		if len(sites) == 0 || s.node.isLit || (s.node.fn != nil && la.prog.valueRef[s.node.fn]) {
+			if s.prev != nil { // a chain of at least one edge
+				rootStep = s
+			}
+			continue
+		}
+		// Deterministic order: caller position then call position.
+		ordered := make([]callerSite, len(sites))
+		copy(ordered, sites)
+		sort.Slice(ordered, func(i, j int) bool {
+			if ordered[i].caller.pos != ordered[j].caller.pos {
+				return ordered[i].caller.pos < ordered[j].caller.pos
+			}
+			return ordered[i].call.pos < ordered[j].call.pos
+		})
+		for _, site := range ordered {
+			if seen[site.caller] {
+				continue
+			}
+			// Only follow edges that do NOT establish the lock: those
+			// are the paths the finding is about.
+			var eff heldSet
+			if site.call.kind != callNormal {
+				eff = heldSet{}
+			} else {
+				eff = unionHeld(la.entryOf(site.caller), site.call.held)
+			}
+			if eff[id] != lockNone {
+				continue
+			}
+			seen[site.caller] = true
+			queue = append(queue, &step{node: site.caller, prev: s})
+		}
+	}
+	if rootStep == nil {
+		return ""
+	}
+	var names []string
+	for s := rootStep; s != nil; s = s.prev {
+		names = append(names, s.node.name)
+	}
+	return strings.Join(names, " → ")
+}
+
+// moduleFunc reports whether fn is defined in one of the analyzed
+// packages (as opposed to the stdlib).
+func (la *lockAnalysis) moduleFunc(fn *types.Func) (*fnFacts, bool) {
+	n, ok := la.prog.byFn[fn]
+	return n, ok
+}

@@ -1,0 +1,685 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockWalker performs the flow-sensitive held-set walk over one
+// function body, appending facts (accesses, acquisitions, blocking
+// operations, call sites) to facts. The abstract state is a heldSet
+// mutated in place along straight-line code, cloned at branch points
+// and merged by intersection where control flow joins — a mutex counts
+// as held after an if/else only if both arms hold it.
+type lockWalker struct {
+	prog  *lockProgram
+	pkg   *Package
+	ir    *ifaceResolver
+	facts *fnFacts
+	// insideSelect suppresses the per-operation channel blockOps of a
+	// select's communication clauses: the select statement itself is the
+	// single blocking point (or non-blocking, with a default clause).
+	insideSelect bool
+}
+
+// walkStmt walks one statement under held, mutating held in place for
+// straight-line effects. terminated reports that control cannot flow
+// past the statement on this path (return, branch).
+func (w *lockWalker) walkStmt(s ast.Stmt, held heldSet) (terminated bool) {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if w.walkStmt(st, held) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		w.walkExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.walkExpr(r, held)
+		}
+		for _, l := range s.Lhs {
+			w.markWrite(l, held)
+		}
+	case *ast.IncDecStmt:
+		w.markWrite(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.walkExpr(r, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this path; merging their exit state
+		// precisely needs a CFG, so tracking just stops here (the loop
+		// exit conservatively intersects with the loop entry anyway).
+		return true
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, held)
+		w.walkExpr(s.Cond, held)
+		thenHeld := held.clone()
+		thenTerm := w.walkStmt(s.Body, thenHeld)
+		elseHeld := held.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseHeld)
+		}
+		w.merge(held, thenHeld, thenTerm, elseHeld, elseTerm)
+		return thenTerm && elseTerm
+	case *ast.ForStmt:
+		w.walkStmt(s.Init, held)
+		if s.Cond != nil {
+			w.walkExpr(s.Cond, held)
+		}
+		bodyHeld := held.clone()
+		if !w.walkStmt(s.Body, bodyHeld) {
+			w.walkStmt(s.Post, bodyHeld)
+			// The loop body may run zero times: only locks held both at
+			// entry and at the body's exit survive the loop.
+			replaceHeld(held, intersectHeld(held, bodyHeld))
+		}
+	case *ast.RangeStmt:
+		w.walkExpr(s.X, held)
+		if tv, ok := w.pkg.Info.Types[s.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.block("range over channel", s.Pos(), held)
+			}
+		}
+		bodyHeld := held.clone()
+		if !w.walkStmt(s.Body, bodyHeld) {
+			replaceHeld(held, intersectHeld(held, bodyHeld))
+		}
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, held)
+		if s.Tag != nil {
+			w.walkExpr(s.Tag, held)
+		}
+		w.walkCaseBodies(s.Body, held, false)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.walkStmt(s.Assign, held)
+		w.walkCaseBodies(s.Body, held, false)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.block("select without default", s.Pos(), held)
+		}
+		w.walkCaseBodies(s.Body, held, true)
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan, held)
+		w.walkExpr(s.Value, held)
+		if !w.insideSelect {
+			w.block("channel send", s.Pos(), held)
+		}
+	case *ast.GoStmt:
+		w.walkCallSite(s.Call, held, callGo)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` is the canonical pairing: the lock stays
+		// held for the remainder of the body, so the deferred release is
+		// no state change here. Other deferred calls run at return time
+		// with an unknowable held-set; they are recorded as callDefer
+		// and excluded from held-set propagation by the analyzers.
+		if _, _, _, ok := w.mutexOp(s.Call); ok {
+			return false
+		}
+		w.walkCallSite(s.Call, held, callDefer)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.EmptyStmt:
+	default:
+		// Unhandled statement kinds carry no lock semantics.
+	}
+	return false
+}
+
+// walkCaseBodies walks the clauses of a switch/select body, each on a
+// clone of held, and merges the survivors by intersection. A switch
+// without a default (or a select with one) can also fall through with
+// no clause running, so the entry state joins the merge via `held`
+// itself staying a participant when no clause is guaranteed.
+func (w *lockWalker) walkCaseBodies(body *ast.BlockStmt, held heldSet, isSelect bool) {
+	exhaustive := false
+	var exits []heldSet
+	for _, c := range body.List {
+		cHeld := held.clone()
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.walkExpr(e, cHeld)
+			}
+			if cc.List == nil {
+				exhaustive = true // default clause
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				exhaustive = true
+			} else {
+				prev := w.insideSelect
+				w.insideSelect = true
+				w.walkStmt(cc.Comm, cHeld)
+				w.insideSelect = prev
+			}
+			stmts = cc.Body
+		}
+		term := false
+		for _, st := range stmts {
+			if term = w.walkStmt(st, cHeld); term {
+				break
+			}
+		}
+		if !term {
+			exits = append(exits, cHeld)
+		}
+	}
+	if isSelect {
+		// A select always runs exactly one clause (blocking until one is
+		// ready when there is no default), so the entry state does not
+		// flow around it.
+		exhaustive = true
+	}
+	if !exhaustive {
+		exits = append(exits, held.clone())
+	}
+	if len(exits) == 0 {
+		return // every clause terminated; keep held as-is for the dead path
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = intersectHeld(out, e)
+	}
+	replaceHeld(held, out)
+}
+
+// merge joins two branch exit states back into held.
+func (w *lockWalker) merge(held, a heldSet, aTerm bool, b heldSet, bTerm bool) {
+	switch {
+	case aTerm && bTerm:
+		// Dead code after the if; leave held unchanged.
+	case aTerm:
+		replaceHeld(held, b)
+	case bTerm:
+		replaceHeld(held, a)
+	default:
+		replaceHeld(held, intersectHeld(a, b))
+	}
+}
+
+// replaceHeld overwrites dst's contents with src, in place.
+func replaceHeld(dst, src heldSet) {
+	for _, k := range sortedHeld(dst) {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+		}
+	}
+	for _, k := range sortedHeld(src) {
+		dst[k] = src[k]
+	}
+}
+
+// walkExpr scans an expression for guarded reads, calls, channel
+// receives and nested function literals, mutating held for mutex
+// operations that appear as the expression itself.
+func (w *lockWalker) walkExpr(e ast.Expr, held heldSet) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		w.identUse(e, held, false)
+	case *ast.SelectorExpr:
+		w.selectorUse(e, held, false)
+	case *ast.CallExpr:
+		w.walkCallSite(e, held, callNormal)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.ARROW:
+			w.walkExpr(e.X, held)
+			if !w.insideSelect {
+				w.block("channel receive", e.Pos(), held)
+			}
+		case token.AND:
+			// Taking the address of guarded state lets it escape the
+			// critical section; treat it as a write-strength access.
+			w.markWrite(e.X, held)
+		default:
+			w.walkExpr(e.X, held)
+		}
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X, held)
+		w.walkExpr(e.Y, held)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X, held)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X, held)
+		w.walkExpr(e.Index, held)
+	case *ast.IndexListExpr:
+		w.walkExpr(e.X, held)
+		for _, i := range e.Indices {
+			w.walkExpr(i, held)
+		}
+	case *ast.SliceExpr:
+		w.walkExpr(e.X, held)
+		w.walkExpr(e.Low, held)
+		w.walkExpr(e.High, held)
+		w.walkExpr(e.Max, held)
+	case *ast.StarExpr:
+		w.walkExpr(e.X, held)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				// A struct literal's field keys name fields of a value
+				// under construction — not shared state — so they are
+				// not accesses; map-literal keys are real expressions.
+				if id, isIdent := kv.Key.(*ast.Ident); isIdent {
+					if v, isVar := w.pkg.Info.Uses[id].(*types.Var); isVar && v.IsField() {
+						w.walkExpr(kv.Value, held)
+						continue
+					}
+				}
+			}
+			w.walkExpr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Key, held)
+		w.walkExpr(e.Value, held)
+	case *ast.FuncLit:
+		w.walkFuncLit(e)
+	default:
+		// Type expressions and literals: nothing to record.
+	}
+}
+
+// walkFuncLit analyzes a function literal as its own facts node with an
+// empty entry held-set: a literal typically runs on a new goroutine, as
+// a deferred cleanup or via a scheduler callback, none of which inherit
+// the enclosing critical section.
+func (w *lockWalker) walkFuncLit(lit *ast.FuncLit) {
+	facts := &fnFacts{
+		pkg:   w.pkg,
+		name:  "func literal",
+		pos:   lit.Pos(),
+		isLit: true,
+	}
+	if w.facts.fn != nil {
+		facts.name = w.facts.name + ".func"
+	}
+	w.prog.nodes = append(w.prog.nodes, facts)
+	lw := &lockWalker{prog: w.prog, pkg: w.pkg, ir: w.ir, facts: facts}
+	lw.walkStmt(lit.Body, heldSet{})
+}
+
+// walkCallSite classifies one call expression: a mutex operation, a
+// builtin, a known blocking call, or an ordinary call site recorded for
+// interprocedural propagation. Arguments and the receiver chain are
+// scanned for guarded accesses either way.
+func (w *lockWalker) walkCallSite(call *ast.CallExpr, held heldSet, kind callKind) {
+	if id, mode, name, ok := w.mutexOp(call); ok {
+		switch name {
+		case "Lock", "RLock":
+			w.facts.acquires = append(w.facts.acquires, lockAcquire{
+				id: id, mode: mode, pos: call.Pos(), held: held.clone(),
+			})
+			held.acquire(id, mode)
+		case "Unlock", "RUnlock":
+			delete(held, id)
+		}
+		// TryLock/TryRLock/RLocker are ignored: a conditional acquire
+		// needs path-sensitive success tracking this walker doesn't do.
+		return
+	}
+	// Builtins: delete mutates its map argument.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := w.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "delete" && len(call.Args) == 2 {
+				w.markWrite(call.Args[0], held)
+				w.walkExpr(call.Args[1], held)
+				return
+			}
+			for _, a := range call.Args {
+				w.walkExpr(a, held)
+			}
+			return
+		}
+	}
+	// Scan the receiver chain (not the method name itself) and the
+	// arguments for guarded accesses and nested calls.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		w.walkExpr(fun.X, held)
+	case *ast.Ident:
+		// Callee ident handled below; a plain conversion like T(x) has
+		// no callee object and needs no scan of the ident.
+	default:
+		w.walkExpr(fun, held)
+	}
+	for _, a := range call.Args {
+		w.walkExpr(a, held)
+	}
+
+	fn := calleeFunc(w.pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	fn = fn.Origin() // instantiated generic methods → their declaration
+	if kind == callNormal {
+		if desc, ok := blockingCallDesc(fn); ok {
+			w.block(desc, call.Pos(), held)
+			return
+		}
+	}
+	lc := lockCall{callee: fn, pos: call.Pos(), held: held.clone(), kind: kind}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := w.pkg.Info.Selections[sel]; ok {
+			if _, isIface := s.Recv().Underlying().(*types.Interface); isIface {
+				lc.candidates = w.ir.candidates(fn)
+			}
+		}
+	}
+	w.facts.calls = append(w.facts.calls, lc)
+}
+
+// block records one directly blocking operation at pos.
+func (w *lockWalker) block(desc string, pos token.Pos, held heldSet) {
+	w.facts.blocks = append(w.facts.blocks, blockOp{desc: desc, pos: pos, held: held.clone()})
+}
+
+// mutexOp classifies call as a sync.Mutex/RWMutex method invocation on
+// a resolvable lock, returning the lock identity, the acquire mode for
+// Lock/RLock, and the method name.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (lockID, lockMode, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone, "", false
+	}
+	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockNone, "", false
+	}
+	recv := recvNamed(fn)
+	if recv == nil || (recv.Obj().Name() != "Mutex" && recv.Obj().Name() != "RWMutex") {
+		return "", lockNone, "", false
+	}
+	name := fn.Name()
+	var mode lockMode
+	switch name {
+	case "Lock":
+		mode = lockWrite
+	case "RLock":
+		mode = lockRead
+	case "Unlock", "RUnlock", "TryLock", "TryRLock", "RLocker":
+		mode = lockNone
+	default:
+		return "", lockNone, "", false
+	}
+	id, ok := w.resolveLockSel(sel)
+	if !ok {
+		return "", lockNone, "", false
+	}
+	return id, mode, name, true
+}
+
+// resolveLockSel resolves the mutex identity behind `<expr>.Lock`. Two
+// shapes occur: an explicit mutex field or variable (`s.mu.Lock`,
+// `globalMu.Lock`), and a promoted method through an embedded mutex
+// (`s.Lock` with `sync.Mutex` embedded in s's type). Locks reached
+// through local aliases (`mu := &s.mu; mu.Lock()`) are not tracked.
+func (w *lockWalker) resolveLockSel(sel *ast.SelectorExpr) (lockID, bool) {
+	// Promoted method: the selection's index path traverses embedded
+	// fields before reaching the method; the last field on the path is
+	// the mutex.
+	if s, ok := w.pkg.Info.Selections[sel]; ok && len(s.Index()) > 1 {
+		t := s.Recv()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			return "", false
+		}
+		idx := s.Index()
+		outer := named
+		var fieldName string
+		cur := types.Type(named)
+		for _, i := range idx[:len(idx)-1] {
+			if ptr, isPtr := cur.Underlying().(*types.Pointer); isPtr {
+				cur = ptr.Elem()
+			}
+			st, isStruct := cur.Underlying().(*types.Struct)
+			if !isStruct || i >= st.NumFields() {
+				return "", false
+			}
+			fieldName = st.Field(i).Name()
+			cur = st.Field(i).Type()
+		}
+		if fieldName == "" {
+			return "", false
+		}
+		return lockID(packagePathOf(outer) + "." + outer.Obj().Name() + "." + fieldName), true
+	}
+	// Explicit receiver: resolve sel.X as a mutex-typed field or var.
+	return w.resolveLockExpr(sel.X)
+}
+
+// resolveLockExpr resolves an expression that denotes a mutex to its
+// type-scoped identity.
+func (w *lockWalker) resolveLockExpr(x ast.Expr) (lockID, bool) {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		v, ok := w.pkg.Info.Uses[x].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", false
+		}
+		// Package-level mutex variable.
+		if v.Parent() == v.Pkg().Scope() {
+			return lockID(v.Pkg().Path() + "." + v.Name()), true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		s, ok := w.pkg.Info.Selections[x]
+		if !ok || s.Kind() != types.FieldVal {
+			// Could be a package-qualified var: pkg.Mu.
+			if id, isIdent := x.X.(*ast.Ident); isIdent {
+				if _, isPkg := w.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+					if v, ok := w.pkg.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+						return lockID(v.Pkg().Path() + "." + v.Name()), true
+					}
+				}
+			}
+			return "", false
+		}
+		t := s.Recv()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			return "", false
+		}
+		return lockID(packagePathOf(named) + "." + named.Obj().Name() + "." + x.Sel.Name), true
+	case *ast.StarExpr:
+		return w.resolveLockExpr(x.X)
+	}
+	return "", false
+}
+
+func packagePathOf(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+// recvNamed returns the named receiver type of a method, unwrapping a
+// pointer receiver.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// identUse records a use of a guarded package-level variable, and
+// tracks function objects referenced as values. Objects are normalized
+// to their generic origin so fields and methods of instantiated generic
+// types (runsched.Engine[K, V]) match the declarations the annotations
+// sit on.
+func (w *lockWalker) identUse(id *ast.Ident, held heldSet, write bool) {
+	switch obj := w.pkg.Info.Uses[id].(type) {
+	case *types.Var:
+		v := obj.Origin()
+		if g, ok := w.prog.guards[v]; ok {
+			w.access(v, g, id.Pos(), write, held)
+		}
+	case *types.Func:
+		w.prog.valueRef[obj.Origin()] = true
+	}
+}
+
+// selectorUse records a use of a guarded struct field reached through a
+// selection, scans the receiver chain, and tracks method values.
+func (w *lockWalker) selectorUse(sel *ast.SelectorExpr, held heldSet, write bool) {
+	w.walkExpr(sel.X, held)
+	switch obj := w.pkg.Info.Uses[sel.Sel].(type) {
+	case *types.Var:
+		v := obj.Origin()
+		if g, ok := w.prog.guards[v]; ok {
+			w.access(v, g, sel.Sel.Pos(), write, held)
+		}
+	case *types.Func:
+		w.prog.valueRef[obj.Origin()] = true
+	}
+}
+
+func (w *lockWalker) access(v *types.Var, g guardDecl, pos token.Pos, write bool, held heldSet) {
+	w.facts.accesses = append(w.facts.accesses, guardAccess{
+		target: v, guard: g.guard, rw: g.guardRW, pos: pos, write: write, held: held.clone(),
+	})
+}
+
+// markWrite records a write-strength access to the assignment target l,
+// walking its subexpressions as reads.
+func (w *lockWalker) markWrite(l ast.Expr, held heldSet) {
+	switch l := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		w.identUse(l, held, true)
+	case *ast.SelectorExpr:
+		w.selectorUse(l, held, true)
+	case *ast.IndexExpr:
+		// m[k] = v mutates the container m: write-strength on m.
+		w.markWrite(l.X, held)
+		w.walkExpr(l.Index, held)
+	case *ast.StarExpr:
+		w.walkExpr(l.X, held)
+	default:
+		w.walkExpr(l, held)
+	}
+}
+
+// blockingCallDesc classifies a directly blocking stdlib call: sleeps,
+// synchronization waits, and file/network I/O. The list is curated to
+// the operations that matter under a hot-path mutex; in-memory stdlib
+// calls are never blocking.
+func blockingCallDesc(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	path := pkg.Path()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := recvNamed(fn)
+		if recv == nil {
+			// Interface methods: net.Conn and friends.
+			if path == "net" || path == "net/http" {
+				return path + " " + fn.Name() + " (network I/O)", true
+			}
+			return "", false
+		}
+		rn := recv.Obj().Name()
+		switch path {
+		case "sync":
+			if (rn == "WaitGroup" || rn == "Cond") && fn.Name() == "Wait" {
+				return "(*sync." + rn + ").Wait", true
+			}
+		case "os":
+			if rn == "File" && osFileBlocking[fn.Name()] {
+				return "(*os.File)." + fn.Name() + " (file I/O)", true
+			}
+		case "net/http":
+			if rn == "Client" {
+				return "(*http.Client)." + fn.Name() + " (network I/O)", true
+			}
+		case "bufio":
+			if rn == "Writer" && fn.Name() == "Flush" {
+				return "(*bufio.Writer).Flush (file I/O)", true
+			}
+		}
+		return "", false
+	}
+	switch path {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "os":
+		if osPkgBlocking[fn.Name()] {
+			return "os." + fn.Name() + " (file I/O)", true
+		}
+	case "io":
+		if fn.Name() == "Copy" || fn.Name() == "ReadAll" {
+			return "io." + fn.Name() + " (I/O)", true
+		}
+	case "net":
+		if fn.Name() == "Dial" || fn.Name() == "DialTimeout" || fn.Name() == "Listen" {
+			return "net." + fn.Name() + " (network I/O)", true
+		}
+	case "net/http":
+		if fn.Name() == "Get" || fn.Name() == "Post" || fn.Name() == "Head" || fn.Name() == "PostForm" {
+			return "http." + fn.Name() + " (network I/O)", true
+		}
+	}
+	return "", false
+}
+
+var osFileBlocking = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"WriteString": true, "Sync": true, "Close": true, "Truncate": true,
+	"Seek": true,
+}
+
+var osPkgBlocking = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "Rename": true,
+	"Remove": true, "RemoveAll": true, "Mkdir": true, "MkdirAll": true,
+	"MkdirTemp": true, "Stat": true, "Chmod": true, "Link": true,
+	"Symlink": true,
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMutexGuardDirectViolations(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// r3dlint:guardedby mu
+	n int
+}
+
+func (c *counter) bad() {
+	c.n++ // write, no lock
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+`
+	got := findings(t, MutexGuard, modelPath, src)
+	wantChecks(t, got, "mutexguard")
+	if !strings.Contains(got[0].Message, "counter.n") || !strings.Contains(got[0].Message, "fixture.counter.mu") {
+		t.Errorf("message should name the field and guard: %s", got[0].Message)
+	}
+}
+
+func TestMutexGuardRWMutexModes(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	// r3dlint:guardedby mu
+	m map[string]int
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k] // read under RLock: fine
+}
+
+func (t *table) badPut(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = v // write under RLock only
+}
+
+func (t *table) badGet(k string) int {
+	return t.m[k] // read, no lock at all
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+`
+	got := findings(t, MutexGuard, modelPath, src)
+	wantChecks(t, got, "mutexguard", "mutexguard")
+	if !strings.Contains(got[0].Message, "exclusive Lock") {
+		t.Errorf("RLock-write message should demand the exclusive Lock: %s", got[0].Message)
+	}
+	if !strings.Contains(got[1].Message, "read of table.m") {
+		t.Errorf("unlocked read message: %s", got[1].Message)
+	}
+}
+
+// TestMutexGuardLockedHelperIdiom is the interprocedural heart of the
+// analyzer: a helper that never locks is still in the clear when every
+// observed call site enters it with the mutex held — and a single
+// unlocked call path breaks the guarantee, with the chain named.
+func TestMutexGuardLockedHelperIdiom(t *testing.T) {
+	clean := `package fixture
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	// r3dlint:guardedby mu
+	items []string
+}
+
+func (s *store) addLocked(it string) {
+	s.items = append(s.items, it)
+}
+
+func (s *store) Add(it string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(it)
+}
+
+func (s *store) AddTwo(a, b string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(a)
+	s.addLocked(b)
+}
+`
+	wantChecks(t, findings(t, MutexGuard, modelPath, clean))
+
+	leaky := clean + `
+func (s *store) Sneak(it string) {
+	s.addLocked(it) // no lock: every access inside addLocked is now suspect
+}
+`
+	got := findings(t, MutexGuard, modelPath, leaky)
+	wantChecks(t, got, "mutexguard")
+	if !strings.Contains(got[0].Message, "unlocked path: Sneak → addLocked") {
+		t.Errorf("finding should carry the unlocked call chain: %s", got[0].Message)
+	}
+}
+
+func TestMutexGuardFlowSensitivity(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	// r3dlint:guardedby mu
+	v int
+}
+
+func (b *box) early() int {
+	b.mu.Lock()
+	v := b.v // locked: fine
+	b.mu.Unlock()
+	return v + b.v // unlocked re-read
+}
+
+func (b *box) branchy(c bool) {
+	if c {
+		b.mu.Lock()
+	}
+	b.v = 1 // only one branch locked: not guaranteed held
+	if c {
+		b.mu.Unlock()
+	}
+}
+`
+	got := findings(t, MutexGuard, modelPath, src)
+	wantChecks(t, got, "mutexguard", "mutexguard")
+}
+
+// TestMutexGuardGoroutineLiteral: a function literal does not inherit
+// its spawner's critical section.
+func TestMutexGuardGoroutineLiteral(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type g struct {
+	mu sync.Mutex
+	// r3dlint:guardedby mu
+	n int
+}
+
+func (x *g) spawn() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	go func() {
+		x.n++ // runs outside the critical section
+	}()
+}
+`
+	wantChecks(t, findings(t, MutexGuard, modelPath, src), "mutexguard")
+}
+
+func TestMutexGuardPackageVarAndDelete(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var regMu sync.Mutex
+
+// r3dlint:guardedby regMu
+var registry = map[string]int{}
+
+func drop(k string) {
+	delete(registry, k) // builtin map mutation without the lock
+}
+
+func put(k string, v int) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[k] = v
+}
+`
+	got := findings(t, MutexGuard, modelPath, src)
+	wantChecks(t, got, "mutexguard")
+	if !strings.Contains(got[0].Message, "write to fixture.registry") {
+		t.Errorf("delete() should count as a write: %s", got[0].Message)
+	}
+}
+
+func TestMutexGuardBadAnnotation(t *testing.T) {
+	src := `package fixture
+
+type broken struct {
+	// r3dlint:guardedby nosuch
+	n int
+}
+`
+	got := findings(t, MutexGuard, modelPath, src)
+	wantChecks(t, got, "mutexguard")
+	if !strings.Contains(got[0].Message, "nosuch") {
+		t.Errorf("annotation error should name the missing mutex: %s", got[0].Message)
+	}
+}
+
+func TestMutexGuardSuppression(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type snap struct {
+	mu sync.Mutex
+	// r3dlint:guardedby mu
+	n int
+}
+
+func (s *snap) peek() int {
+	//lint:ignore mutexguard racy read is an approximate stats counter, staleness is fine
+	return s.n
+}
+`
+	wantChecks(t, findings(t, MutexGuard, modelPath, src))
+}

@@ -3,10 +3,15 @@ package lint
 import "go/token"
 
 // Analyzers returns the full determinism/hygiene suite in a fixed
-// order: the five local checks of v1, then the v2 whole-program and
-// concurrency analyzers.
+// order: the five local checks of v1, the v2 whole-program and
+// concurrency analyzers, then the v3 annotation-driven lock-discipline
+// suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, GlobalRand, WallClock, FloatCmp, ErrDrop, GoCapture, DetTaint, Units}
+	return []*Analyzer{
+		MapOrder, GlobalRand, WallClock, FloatCmp, ErrDrop, GoCapture,
+		DetTaint, Units,
+		MutexGuard, LockOrder, BlockHold,
+	}
 }
 
 // Run applies the analyzers to the packages, filters out findings

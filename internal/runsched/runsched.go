@@ -139,14 +139,21 @@ type Engine[K comparable, V any] struct {
 	opts    Options[K, V]
 	stop    chan struct{}
 
-	mu          sync.Mutex
-	results     map[K]result[V]
-	inflight    map[K]*call[V]
-	stats       Stats
-	records     []Record[K]
-	shadowDone  map[K]bool // keys already shadow-checked (at most once each)
+	mu sync.Mutex
+	// r3dlint:guardedby mu
+	results map[K]result[V]
+	// r3dlint:guardedby mu
+	inflight map[K]*call[V]
+	// r3dlint:guardedby mu
+	stats Stats
+	// r3dlint:guardedby mu
+	records []Record[K]
+	// r3dlint:guardedby mu
+	shadowDone map[K]bool // keys already shadow-checked (at most once each)
+	// r3dlint:guardedby mu
 	divergences []Divergence[K]
-	stopped     bool
+	// r3dlint:guardedby mu
+	stopped bool
 }
 
 // New creates an engine over the given pure compute function.

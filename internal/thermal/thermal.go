@@ -280,6 +280,8 @@ func (s *Solver) TotalPower() float64 {
 // field is the best available estimate, not a solution: callers must
 // not silently treat an iteration-capped field as settled. The previous
 // solution is kept as the starting point (warm start).
+//
+// r3dlint:blocks whole-grid SOR relaxation, up to maxIters sweeps over every cell
 func (s *Solver) Solve(tolC Celsius, maxIters int) (iters int, converged bool) {
 	const omega = 1.85
 	tol := float64(tolC)

@@ -1,6 +1,8 @@
 package r3d
 
 import (
+	"os/exec"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -70,6 +72,23 @@ func TestLintModelCodeHasEmptyBaseline(t *testing.T) {
 	}
 	for _, f := range regressions {
 		t.Errorf("model-code finding not covered by a reasoned directive: %s", f)
+	}
+}
+
+// TestGoVetClean makes `go vet ./...` part of the tier-1 gate: a vet
+// diagnostic fails `go test ./...`, not just the separately-run `make
+// lint`. Skips when no go binary is on PATH (the test binary may run
+// on a machine without the toolchain).
+func TestGoVetClean(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not on PATH: %v", err)
+	}
+	cmd := exec.Command(goBin, "vet", "./...")
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Errorf("go vet ./... failed (%v) on %s:\n%s", err, runtime.Version(), out)
 	}
 }
 
