@@ -4,14 +4,14 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-strict lint-json race race-engine fmt campaign-smoke bench-fast crash-test
+.PHONY: all build test lint lint-strict lint-json race race-engine fmt campaign-smoke bench-fast crash-test serve-smoke
 
 all: build lint test
 
 build:
 	$(GO) build ./...
 
-test: crash-test
+test: crash-test serve-smoke
 	$(GO) test ./...
 
 # gofmt -l prints offending files but always exits 0; fail if it
@@ -53,7 +53,7 @@ race:
 # serial render code — `make race` covers it.
 race-engine:
 	$(GO) test -race -count=1 -run 'Concurrent|WorkerCount|Race' ./internal/experiment/
-	$(GO) test -race -count=1 ./internal/runsched/ ./internal/campaign/ ./internal/ckpt/
+	$(GO) test -race -count=1 ./internal/runsched/ ./internal/campaign/ ./internal/ckpt/ ./internal/serve/
 
 fmt:
 	gofmt -w .
@@ -95,6 +95,19 @@ crash-test:
 	"$$tmp/r3dfault" $(GRID) -journal "$$tmp/run.jsonl" -checkpoint "$$tmp/run.ckpt" -restore > "$$tmp/restored.json" 2> "$$tmp/restore.err" || { echo "crash-test: restore failed"; cat "$$tmp/restore.err"; exit 1; }; \
 	cmp "$$tmp/baseline.json" "$$tmp/restored.json" || { echo "crash-test: restored aggregate not byte-identical to uninterrupted run"; exit 1; }; \
 	echo "crash-test: OK (SIGKILLed at $$lines journal lines, restore byte-identical)"
+
+# Daemon robustness gate (runs as part of `make test`): drive a real
+# r3dserve binary over HTTP through its full contract — submit a
+# campaign grid, long-poll to completion, SIGTERM (must exit 0 after a
+# clean drain); restart with -restore and verify the job joins as
+# restored with byte-identical results; compute a second grid, SIGKILL
+# once it reaches the on-disk job store, restore again, and require
+# both grids byte-identical. The driver owns the temp state dir and
+# process lifecycle; see cmd/r3dservesmoke.
+serve-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/r3dserve" ./cmd/r3dserve || exit 1; \
+	$(GO) run ./cmd/r3dservesmoke -daemon "$$tmp/r3dserve"
 
 # Engine smoke: the fast suite rendered serially and across $(nproc)
 # workers must be byte-identical on stdout; the parallel run prints its

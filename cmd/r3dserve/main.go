@@ -1,0 +1,199 @@
+// Command r3dserve is the simulation daemon: an HTTP/JSON service that
+// accepts experiment-prefetch and fault-campaign submissions from many
+// concurrent clients and executes them against one shared,
+// content-addressed result cache.
+//
+// Examples:
+//
+//	r3dserve -listen :8723 -state /var/lib/r3d
+//	r3dserve -listen :8723 -state /var/lib/r3d -restore -shadow 0.1
+//
+//	curl -d '{"kind":"experiment","experiment":"table2","quality":"fast"}' \
+//	     http://localhost:8723/api/v1/jobs
+//	curl 'http://localhost:8723/api/v1/jobs/<id>?wait_ms=30000&version=1'
+//	curl  http://localhost:8723/api/v1/jobs/<id>/result
+//
+// Robustness contract:
+//
+//   - admission control: at most -queue jobs in flight; beyond that,
+//     submissions get 429 + Retry-After. -rate/-burst add a per-client
+//     token bucket.
+//   - idempotency: a job's ID fingerprints its content; duplicate
+//     POSTs join the in-flight or completed job.
+//   - degradation: when the queue is deeper than -degrade-depth,
+//     experiment requests are downgraded one quality tier and the
+//     response says so.
+//   - deadlines: -deadline (or per-request deadline_ms) expires jobs
+//     by draining them at trial/window granularity — finished work
+//     stays cached, nothing is poisoned.
+//   - crash safety: with -state, completed jobs and window caches
+//     persist; after a SIGKILL, -restore serves previously computed
+//     results byte-identically.
+//   - clean drain: the first SIGINT/SIGTERM stops admissions, finishes
+//     in-flight trials, commits a final checkpoint, closes the
+//     listener and exits 0. A second signal aborts with 130.
+//   - self-verification: -shadow re-verifies that fraction of cache
+//     hits from scratch; a divergence flips /healthz to "degraded"
+//     instead of crashing the daemon.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"r3d/internal/campaign"
+	"r3d/internal/experiment"
+	"r3d/internal/serve"
+)
+
+// tinyQuality is a smoke-test tier: one benchmark, very small windows,
+// so end-to-end exercises of the daemon finish in seconds.
+func tinyQuality() experiment.Quality {
+	return experiment.Quality{
+		WarmupInsts:  5_000,
+		MeasureInsts: 10_000,
+		Benchmarks:   []string{"gzip"},
+		ThermalTolC:  1e-3, ThermalMaxIters: 10_000,
+		Seed: 42,
+	}
+}
+
+// tierByName maps the tier vocabulary of -tiers onto qualities.
+func tierByName(name string) (serve.Tier, error) {
+	switch name {
+	case "tiny":
+		return serve.Tier{Name: name, Quality: tinyQuality()}, nil
+	case "fast":
+		return serve.Tier{Name: name, Quality: experiment.Fast()}, nil
+	case "full":
+		return serve.Tier{Name: name, Quality: experiment.Full()}, nil
+	}
+	return serve.Tier{}, fmt.Errorf("unknown tier %q (want tiny, fast or full)", name)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("r3dserve: ")
+
+	listen := flag.String("listen", "127.0.0.1:8723", "listen address (host:port; port 0 picks a free port)")
+	tiers := flag.String("tiers", "fast,full", "comma-separated quality tiers, cheapest first (tiny, fast, full)")
+	queue := flag.Int("queue", serve.DefaultQueueBound, "max admitted-but-unfinished jobs; beyond this, 429 + Retry-After")
+	degradeDepth := flag.Int("degrade-depth", 0, "queue depth at which experiment requests degrade one tier (0 = queue/2, negative disables)")
+	jobWorkers := flag.Int("job-workers", 2, "concurrently executing jobs")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "per-job worker-pool width (trials / windows)")
+	rate := flag.Float64("rate", 0, "per-client submissions per second (0 disables rate limiting)")
+	burst := flag.Int("burst", 4, "per-client submission burst (with -rate)")
+	maxTrials := flag.Int("max-trials", 10_000, "largest grid accepted per job (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	retryAfter := flag.Int64("retry-after", 2, "Retry-After seconds hinted on queue-full rejections")
+	state := flag.String("state", "", "state directory for the job store and window caches (\"\" disables persistence)")
+	restore := flag.Bool("restore", false, "restore the job store and window caches from -state before serving")
+	shadow := flag.Float64("shadow", 0, "fraction of cache hits to re-verify from scratch (0..1); divergences degrade /healthz")
+	retries := flag.Int("retries", 1, "max retries for campaign trials the watchdog reports hung")
+	portFile := flag.String("portfile", "", "write the bound listen address to this file once serving (for scripts)")
+	flag.Parse()
+
+	var tierList []serve.Tier
+	for _, name := range strings.Split(*tiers, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		t, err := tierByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tierList = append(tierList, t)
+	}
+
+	if *state != "" {
+		if err := os.MkdirAll(*state, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The daemon's model code never reads the host clock; real time
+	// enters only here, as an injected monotonic clock.
+	start := time.Now()
+	mono := func() int64 { return int64(time.Since(start)) }
+	clock := serve.Clock{
+		Now: mono,
+		After: func(ns int64) <-chan struct{} {
+			ch := make(chan struct{})
+			time.AfterFunc(time.Duration(ns), func() { close(ch) })
+			return ch
+		},
+	}
+
+	srv, err := serve.New(serve.Options{
+		Tiers:             tierList,
+		QueueBound:        *queue,
+		DegradeDepth:      *degradeDepth,
+		JobWorkers:        *jobWorkers,
+		TrialWorkers:      *workers,
+		RatePerSec:        *rate,
+		Burst:             *burst,
+		MaxTrialsPerJob:   *maxTrials,
+		DefaultDeadlineNS: int64(*deadline),
+		RetryAfterSec:     *retryAfter,
+		ShadowFraction:    *shadow,
+		Clock:             clock,
+		SessionClock:      mono,
+		StatePath:         *state,
+		Restore:           *restore,
+		MaxRetries:        *retries,
+		Watchdog:          campaign.Watchdog{},
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	// First signal: drain — stop admissions, finish in-flight trials,
+	// commit the final checkpoint, close the listener, exit 0. Second
+	// signal: abort 130 (persisted state still restores).
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("%s: draining (in-flight trials finish; signal again to abort)", sig)
+		go func() {
+			<-sigc
+			os.Exit(130)
+		}()
+	}
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Print("drained cleanly")
+}

@@ -1,0 +1,350 @@
+// Command r3dservesmoke is the end-to-end smoke test for the r3dserve
+// daemon. It exercises the full robustness contract as a black box,
+// driving a real daemon binary over HTTP:
+//
+//	phase 1 (clean drain):   start a daemon, submit a campaign grid,
+//	                         long-poll it to completion, save the result
+//	                         bytes, SIGTERM, and require exit status 0.
+//	phase 2 (hard crash):    restart with -restore, check the phase-1
+//	                         job joins as restored with identical bytes,
+//	                         complete a second grid, wait for it to
+//	                         reach the on-disk job store, then SIGKILL
+//	                         mid-service.
+//	phase 3 (restore):       restart with -restore again and require
+//	                         both grids to join as restored, done, and
+//	                         byte-identical to the originally computed
+//	                         results.
+//
+// Any violation exits non-zero with the daemon's log replayed, so
+// `make serve-smoke` fails loudly.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+var (
+	daemonBin = flag.String("daemon", "", "path to the r3dserve binary under test")
+	keepState = flag.Bool("keep-state", false, "keep the temp state directory for inspection")
+)
+
+// submission mirrors serve.Submission for the two grids under test.
+// Grid bodies are raw JSON so the smoke test stays an honest external
+// client of the wire format.
+func gridBody(seed int) string {
+	return fmt.Sprintf(`{
+		"kind": "campaign",
+		"grid": {
+			"Benches": ["gzip"],
+			"Seeds": [%d],
+			"LeadRates": [40],
+			"Instructions": 20000,
+			"Node": 65
+		}
+	}`, seed)
+}
+
+// submitResult mirrors the daemon's POST response shape.
+type submitResult struct {
+	Job struct {
+		ID       string `json:"id"`
+		State    string `json:"state"`
+		Version  int64  `json:"version"`
+		Error    string `json:"error"`
+		Restored bool   `json:"restored"`
+	} `json:"job"`
+	Joined bool `json:"joined"`
+}
+
+// daemon wraps one running r3dserve process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+	logs *bytes.Buffer
+}
+
+// startDaemon launches the binary against stateDir and waits for its
+// portfile to appear.
+func startDaemon(stateDir string, restore bool) (*daemon, error) {
+	portFile := filepath.Join(stateDir, fmt.Sprintf("port.%d", time.Now().UnixNano()))
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-portfile", portFile,
+		"-state", filepath.Join(stateDir, "state"),
+		"-tiers", "tiny",
+		"-job-workers", "2",
+		"-workers", "2",
+	}
+	if restore {
+		args = append(args, "-restore")
+	}
+	d := &daemon{cmd: exec.Command(*daemonBin, args...), logs: &bytes.Buffer{}}
+	d.cmd.Stdout = d.logs
+	d.cmd.Stderr = d.logs
+	if err := d.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start daemon: %w", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if addr, err := os.ReadFile(portFile); err == nil && len(addr) > 0 {
+			d.base = "http://" + string(bytes.TrimSpace(addr))
+			return d, nil
+		}
+		if d.cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
+	return nil, fmt.Errorf("daemon never published its port\n--- daemon log ---\n%s", d.logs)
+}
+
+func (d *daemon) fail(format string, args ...any) error {
+	return fmt.Errorf(format+"\n--- daemon log ---\n%s", append(args, d.logs)...)
+}
+
+// submit POSTs a body and decodes the submit result.
+func (d *daemon) submit(body string) (submitResult, error) {
+	var res submitResult
+	resp, err := http.Post(d.base+"/api/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return res, d.fail("submit: %v", err)
+	}
+	//lint:ignore errdrop response already fully read; close failure loses nothing
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return res, d.fail("submit: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return res, d.fail("submit: decode %q: %v", raw, err)
+	}
+	return res, nil
+}
+
+// waitDone long-polls a job until it reaches "done" (or fails).
+func (d *daemon) waitDone(id string) error {
+	version := int64(0)
+	deadline := time.Now().Add(90 * time.Second)
+	for time.Now().Before(deadline) {
+		url := fmt.Sprintf("%s/api/v1/jobs/%s?wait_ms=2000&version=%d", d.base, id, version)
+		resp, err := http.Get(url)
+		if err != nil {
+			return d.fail("poll %s: %v", id, err)
+		}
+		var res submitResult
+		err = json.NewDecoder(resp.Body).Decode(&res.Job)
+		//lint:ignore errdrop response already fully read; close failure loses nothing
+		resp.Body.Close()
+		if err != nil {
+			return d.fail("poll %s: decode: %v", id, err)
+		}
+		switch res.Job.State {
+		case "done":
+			return nil
+		case "failed", "expired", "canceled":
+			return d.fail("job %s ended %s: %s", id, res.Job.State, res.Job.Error)
+		}
+		version = res.Job.Version
+	}
+	return d.fail("job %s never completed", id)
+}
+
+// result fetches the completed result bytes.
+func (d *daemon) result(id string) ([]byte, error) {
+	resp, err := http.Get(d.base + "/api/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, d.fail("result %s: %v", id, err)
+	}
+	//lint:ignore errdrop response already fully read; close failure loses nothing
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, d.fail("result %s: HTTP %d: %s", id, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// sigtermWaitClean drains the daemon and requires exit status 0 — the
+// ISSUE contract for clean shutdown under SIGTERM.
+func (d *daemon) sigtermWaitClean() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return d.fail("SIGTERM: %v", err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- d.cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			return d.fail("daemon exited non-zero after SIGTERM: %v", err)
+		}
+		return nil
+	case <-time.After(60 * time.Second):
+		_ = d.cmd.Process.Kill()
+		return d.fail("daemon did not exit within 60s of SIGTERM")
+	}
+}
+
+// sigkill hard-kills the daemon — the simulated crash.
+func (d *daemon) sigkill() {
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait() // expected non-zero; the point is what survives on disk
+}
+
+// waitJobPersisted polls the on-disk job store until it mentions the
+// job ID, so the SIGKILL provably lands after the checkpoint commit.
+func waitJobPersisted(stateDir, id string) error {
+	store := filepath.Join(stateDir, "state", "jobs.ckpt")
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if raw, err := os.ReadFile(store); err == nil && bytes.Contains(raw, []byte(id)) {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s never reached the job store %s", id, store)
+}
+
+func run() error {
+	stateDir, err := os.MkdirTemp("", "r3dservesmoke-")
+	if err != nil {
+		return err
+	}
+	if !*keepState {
+		//lint:ignore errdrop best-effort temp-dir cleanup on exit
+		defer os.RemoveAll(stateDir)
+	} else {
+		log.Printf("state kept in %s", stateDir)
+	}
+
+	gridA, gridB := gridBody(1), gridBody(2)
+
+	// Phase 1: compute grid A, drain cleanly under SIGTERM.
+	log.Print("phase 1: clean drain")
+	d1, err := startDaemon(stateDir, false)
+	if err != nil {
+		return err
+	}
+	subA, err := d1.submit(gridA)
+	if err != nil {
+		return err
+	}
+	if subA.Joined {
+		return d1.fail("fresh daemon claims grid A already exists")
+	}
+	if err := d1.waitDone(subA.Job.ID); err != nil {
+		return err
+	}
+	wantA, err := d1.result(subA.Job.ID)
+	if err != nil {
+		return err
+	}
+	if err := d1.sigtermWaitClean(); err != nil {
+		return err
+	}
+	log.Printf("phase 1: job %s done (%d bytes), daemon exited 0", subA.Job.ID, len(wantA))
+
+	// Phase 2: restore, verify A survived, compute grid B, then crash
+	// with SIGKILL once B has hit the job store.
+	log.Print("phase 2: hard crash")
+	d2, err := startDaemon(stateDir, true)
+	if err != nil {
+		return err
+	}
+	reA, err := d2.submit(gridA)
+	if err != nil {
+		return err
+	}
+	if !reA.Joined || !reA.Job.Restored || reA.Job.State != "done" {
+		return d2.fail("grid A did not restore: joined=%v restored=%v state=%s",
+			reA.Joined, reA.Job.Restored, reA.Job.State)
+	}
+	gotA, err := d2.result(reA.Job.ID)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(gotA, wantA) {
+		return d2.fail("grid A result changed across restart:\nwas: %s\nnow: %s", wantA, gotA)
+	}
+	subB, err := d2.submit(gridB)
+	if err != nil {
+		return err
+	}
+	if err := d2.waitDone(subB.Job.ID); err != nil {
+		return err
+	}
+	wantB, err := d2.result(subB.Job.ID)
+	if err != nil {
+		return err
+	}
+	if err := waitJobPersisted(stateDir, subB.Job.ID); err != nil {
+		return d2.fail("%v", err)
+	}
+	d2.sigkill()
+	log.Printf("phase 2: job %s done (%d bytes), daemon SIGKILLed", subB.Job.ID, len(wantB))
+
+	// Phase 3: restore after the crash; both grids must join as
+	// restored with byte-identical results.
+	log.Print("phase 3: restore after crash")
+	d3, err := startDaemon(stateDir, true)
+	if err != nil {
+		return err
+	}
+	defer d3.sigkill()
+	for _, tc := range []struct {
+		name string
+		body string
+		id   string
+		want []byte
+	}{
+		{"grid A", gridA, subA.Job.ID, wantA},
+		{"grid B", gridB, subB.Job.ID, wantB},
+	} {
+		re, err := d3.submit(tc.body)
+		if err != nil {
+			return err
+		}
+		if re.Job.ID != tc.id {
+			return d3.fail("%s fingerprint changed across restart: %s != %s", tc.name, re.Job.ID, tc.id)
+		}
+		if !re.Joined || !re.Job.Restored || re.Job.State != "done" {
+			return d3.fail("%s did not restore after crash: joined=%v restored=%v state=%s",
+				tc.name, re.Joined, re.Job.Restored, re.Job.State)
+		}
+		got, err := d3.result(re.Job.ID)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, tc.want) {
+			return d3.fail("%s result changed across crash:\nwas: %s\nnow: %s", tc.name, tc.want, got)
+		}
+		log.Printf("phase 3: %s (%s) byte-identical after crash+restore", tc.name, tc.id)
+	}
+	return d3.sigtermWaitClean()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("r3dservesmoke: ")
+	flag.Parse()
+	if *daemonBin == "" {
+		log.Fatal("-daemon is required")
+	}
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("OK: drain, crash, and restore contracts all hold")
+}

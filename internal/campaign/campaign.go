@@ -221,6 +221,12 @@ type Config struct {
 	// Interrupted=true and only the completed trials.
 	Stop     <-chan struct{}
 	Watchdog Watchdog
+	// OnOutcome, when non-nil, observes every freshly executed trial as
+	// it commits (journal-restored outcomes are not replayed through it).
+	// It is called from worker goroutines, possibly concurrently, with no
+	// harness locks held; it must be cheap and concurrency-safe. Progress
+	// reporting is its intended use — it cannot alter outcomes.
+	OnOutcome func(TrialOutcome)
 	// StallTimeout is a host-clock last resort against harness bugs: a
 	// trial goroutine that produces no outcome within this wall time is
 	// abandoned and reported hung with ReasonWallClock. It is off (0)
@@ -379,6 +385,9 @@ func Run(cfg Config, specs []TrialSpec) (*Report, error) {
 				out := r.trialWithTimeout(specs[j.idx])
 				outcomes[j.idx] = out
 				st.commit(out)
+				if cfg.OnOutcome != nil {
+					cfg.OnOutcome(out)
+				}
 			}
 		}()
 	}

@@ -353,3 +353,64 @@ func TestRunSupervisedReportsCompletedCampaign(t *testing.T) {
 		t.Errorf("supervised result diverges from serial path:\n%+v\n%+v", *out.Result, serial)
 	}
 }
+
+// TestOnOutcomeObservesEveryFreshTrial: the progress callback fires once
+// per executed trial with the committed outcome, and journal-restored
+// trials are not replayed through it on resume.
+func TestOnOutcomeObservesEveryFreshTrial(t *testing.T) {
+	specs := testSpecs(t)
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+
+	var calls atomic.Int64
+	seen := make(chan string, len(specs))
+	rep, err := Run(Config{
+		Workers:     2,
+		MaxRetries:  1,
+		JournalPath: journal,
+		Watchdog:    fastWatchdog,
+		OnOutcome: func(out TrialOutcome) {
+			calls.Add(1)
+			seen <- out.ID
+		},
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != int64(len(specs)) {
+		t.Fatalf("OnOutcome fired %d times, want %d", got, len(specs))
+	}
+	close(seen)
+	ids := map[string]bool{}
+	for id := range seen {
+		if ids[id] {
+			t.Errorf("OnOutcome saw trial %q twice", id)
+		}
+		ids[id] = true
+	}
+	for _, tr := range rep.Trials {
+		if !ids[tr.ID] {
+			t.Errorf("OnOutcome never saw trial %q", tr.ID)
+		}
+	}
+
+	// Resume: everything comes from the journal, nothing re-executes.
+	rep2, err := Run(Config{
+		Workers:     2,
+		MaxRetries:  1,
+		JournalPath: journal,
+		Resume:      true,
+		Watchdog:    fastWatchdog,
+		OnOutcome:   func(TrialOutcome) { calls.Add(1) },
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != int64(len(specs)) {
+		t.Errorf("OnOutcome fired %d more times on a full resume, want 0", got-int64(len(specs)))
+	}
+	a, _ := rep.JSON()
+	b, _ := rep2.JSON()
+	if !bytes.Equal(a, b) {
+		t.Error("resumed report not byte-identical to fresh run")
+	}
+}

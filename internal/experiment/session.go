@@ -204,6 +204,16 @@ func (s *Session) Prefetch(keys []RunKey) error {
 	return s.eng.Prefetch(keys)
 }
 
+// PrefetchUntil is Prefetch with a per-batch stop channel: closing stop
+// drains this batch only — in-flight windows finish and commit, skipped
+// windows stay uncomputed (never poisoned), and the call reports
+// runsched.ErrInterrupted. Other callers sharing the session keep
+// running; this is how a server imposes per-request deadlines over one
+// shared memo cache.
+func (s *Session) PrefetchUntil(keys []RunKey, stop <-chan struct{}) error {
+	return s.eng.PrefetchUntil(keys, stop)
+}
+
 // EngineStats returns the run engine's observability counters.
 func (s *Session) EngineStats() runsched.Stats {
 	return s.eng.Stats()

@@ -376,6 +376,20 @@ type prefetchJob[K comparable, V any] struct {
 // commit, remaining keys are skipped, and Prefetch reports
 // ErrInterrupted; the skipped keys stay uncomputed and un-memoized.
 func (e *Engine[K, V]) Prefetch(keys []K) error {
+	return e.PrefetchUntil(keys, nil)
+}
+
+// PrefetchUntil is Prefetch with a per-batch stop channel: closing stop
+// drains this batch the same way Interrupt drains the whole engine —
+// in-flight computations finish and commit, undispatched keys are
+// skipped and stay uncomputed, and the call reports ErrInterrupted. The
+// memo cache is never poisoned by a cancelled batch: everything
+// committed is a complete, correct window, and everything skipped is
+// absent (not an error entry), so a later batch computes it normally.
+// Other callers' batches keep running; this is the building block for
+// per-request deadlines layered over a shared engine. A nil stop never
+// fires.
+func (e *Engine[K, V]) PrefetchUntil(keys []K, stop <-chan struct{}) error {
 	e.mu.Lock()
 	e.stats.BatchRequested += len(keys)
 	uniq := make([]K, len(keys))
@@ -438,6 +452,13 @@ dispatch:
 		select {
 		case jobs <- j:
 		case <-e.stop:
+			for _, rest := range work[i:] {
+				if !rest.shadow {
+					skipped = append(skipped, rest.k)
+				}
+			}
+			break dispatch
+		case <-stop:
 			for _, rest := range work[i:] {
 				if !rest.shadow {
 					skipped = append(skipped, rest.k)

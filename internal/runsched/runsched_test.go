@@ -443,3 +443,46 @@ func TestInterruptDrainsPrefetch(t *testing.T) {
 		t.Errorf("Get of a skipped key after interrupt = %q, %v", v, err)
 	}
 }
+
+// TestPrefetchUntilCancelsOneBatchOnly: a per-batch stop channel drains
+// that batch alone — in-flight work commits, skipped keys stay
+// uncomputed and unpoisoned — while the engine keeps serving other
+// batches normally afterwards.
+func TestPrefetchUntilCancelsOneBatchOnly(t *testing.T) {
+	const keys = 12
+	started := make(chan int, keys)
+	release := make(chan struct{})
+	e := intEngine(1, func(k int) (string, error) {
+		started <- k
+		<-release
+		return fmt.Sprintf("v%d", k), nil
+	})
+	all := make([]int, keys)
+	for i := range all {
+		all[i] = i
+	}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- e.PrefetchUntil(all, stop) }()
+	<-started // one worker is inside compute; the rest is queued
+	close(stop)
+	close(release)
+	if err := <-done; !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("cancelled PrefetchUntil returned %v, want ErrInterrupted", err)
+	}
+	st := e.Stats()
+	if st.Computed == 0 || st.Computed >= keys {
+		t.Fatalf("Computed = %d, want the in-flight prefix only (0 < n < %d)", st.Computed, keys)
+	}
+	if len(e.Entries()) != st.Computed {
+		t.Errorf("entries %d != computed %d", len(e.Entries()), st.Computed)
+	}
+	// The engine itself was not interrupted: a fresh batch over the same
+	// keys completes every remaining key.
+	if err := e.Prefetch(all); err != nil {
+		t.Fatalf("Prefetch after a cancelled batch: %v", err)
+	}
+	if got := len(e.Entries()); got != keys {
+		t.Errorf("entries after follow-up batch = %d, want %d", got, keys)
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /api/v1/jobs             submit (idempotent; join by fingerprint)
+//	GET  /api/v1/jobs/{id}        status; ?wait_ms= + ?version= long-polls
+//	GET  /api/v1/jobs/{id}/result completed result bytes
+//	GET  /healthz                 liveness + degradation status
+//	GET  /statsz                  admission counters + engine stats
+//
+// All handlers are safe for concurrent use; none of them block on
+// simulation work (submission is asynchronous, status waits are
+// bounded by wait_ms, the request context, and server drain).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+// maxSubmissionBytes bounds a request body: grids are small; anything
+// megabytes long is a client bug or abuse.
+const maxSubmissionBytes = 1 << 20
+
+// clientKey identifies a client for rate limiting: the remote IP.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body) // client went away; nothing to do
+	_, _ = w.Write([]byte("\n"))
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error         string `json:"error"`
+	RetryAfterSec int64  `json:"retry_after_sec,omitempty"`
+}
+
+// writeStatusError maps a StatusError onto the wire, including the
+// Retry-After header backpressure contract.
+func writeStatusError(w http.ResponseWriter, e *StatusError) {
+	if e.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(e.RetryAfterSec, 10))
+	}
+	writeJSON(w, e.Code, errorBody{Error: e.Msg, RetryAfterSec: e.RetryAfterSec})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sub Submission
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmissionBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sub); err != nil {
+		s.countInvalid()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode submission: %v", err)})
+		return
+	}
+	res, serr := s.Submit(sub, clientKey(r))
+	if serr != nil {
+		writeStatusError(w, serr)
+		return
+	}
+	code := http.StatusAccepted
+	if res.Joined {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, res)
+}
+
+// handleStatus reports one job. With ?wait_ms=N (and optionally
+// ?version=V, the last version the client saw) it long-polls: the
+// response returns as soon as the job changes past V, the wait times
+// out, the request context ends, or the server drains.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	waitMS, _ := strconv.ParseInt(r.URL.Query().Get("wait_ms"), 10, 64)
+	sinceVersion, _ := strconv.ParseInt(r.URL.Query().Get("version"), 10, 64)
+	if waitMS > 0 {
+		s.waitForChange(r, j, sinceVersion, waitMS)
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// maxWaitMS caps a single long-poll leg; clients re-arm with the
+// returned version.
+const maxWaitMS = 60_000
+
+// waitForChange blocks until the job's version passes sinceVersion or
+// any wait bound fires.
+func (s *Server) waitForChange(r *http.Request, j *Job, sinceVersion, waitMS int64) {
+	if waitMS > maxWaitMS {
+		waitMS = maxWaitMS
+	}
+	timeout := s.clock.After(waitMS * 1e6)
+	for {
+		version, changed := j.versionAndChanged()
+		if version > sinceVersion {
+			return
+		}
+		select {
+		case <-changed:
+		case <-timeout:
+			return
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	body, contentType, done := j.resultBody()
+	if !done {
+		st := j.snapshot()
+		writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf("job is %s; no result to serve", st.State)})
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(body) // client went away; nothing to do
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.HealthSnapshot())
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+
+	"r3d/internal/campaign"
+	"r3d/internal/ckpt"
+)
+
+// The daemon persists two things through internal/ckpt, both written
+// only by the single persister goroutine (never under a lock):
+//
+//   - the job store (jobs.ckpt): every completed job's result bytes,
+//     keyed by content fingerprint, so a restarted daemon serves
+//     previously computed jobs byte-identically without recomputing;
+//   - one window cache per tier (cache-<tier>.ckpt): the session memo
+//     entries, so experiment jobs warm-start across restarts.
+//
+// Both inherit ckpt's crash discipline: atomic temp-file+rename
+// commits, a .prev generation for rollback, CRC-guarded records, and a
+// hard mismatch error for files written by a different configuration.
+
+const (
+	storeKind = "serve-jobstore"
+	// storeSchema names the persisted record layout; bump on any change
+	// to storedJob so stale stores are rejected loudly.
+	storeSchema = "r3d-jobstore/1"
+)
+
+// storedJob is the persisted image of one completed job.
+type storedJob struct {
+	ID          string         `json:"id"`
+	Kind        string         `json:"kind"`
+	Experiment  string         `json:"experiment,omitempty"`
+	Quality     string         `json:"quality,omitempty"`
+	Grid        *campaign.Grid `json:"grid,omitempty"`
+	Result      string         `json:"result"`
+	ContentType string         `json:"content_type"`
+}
+
+// persistAll commits the job store and every tier's window cache. It
+// is a no-op without a StatePath. Jobs are snapshotted under the lock,
+// but all I/O happens after it is released.
+func (s *Server) persistAll() error {
+	if s.opts.StatePath == "" {
+		return nil
+	}
+	fp, err := s.storeFingerprint()
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	recs := make([]storedJob, 0, len(s.jobs))
+	//lint:ignore maporder collection loop; the records are sorted by ID below before any order-dependent use
+	for _, j := range s.jobs {
+		body, ct, done := j.resultBody()
+		if !done {
+			continue
+		}
+		recs = append(recs, storedJob{
+			ID:          j.ID,
+			Kind:        j.Kind,
+			Experiment:  j.Experiment,
+			Quality:     j.Quality,
+			Grid:        j.Grid,
+			Result:      string(body),
+			ContentType: ct,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, k int) bool { return recs[i].ID < recs[k].ID })
+
+	w := ckpt.NewWriter(ckpt.Meta{Kind: storeKind, Fingerprint: fp})
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			return err
+		}
+	}
+	if err := w.Commit(s.jobStorePath()); err != nil {
+		return fmt.Errorf("serve: commit job store: %w", err)
+	}
+
+	for _, t := range s.tiers {
+		if _, err := s.sessions[t.Name].SaveCache(s.cachePath(t.Name)); err != nil {
+			return fmt.Errorf("serve: save %s window cache: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+// restore preloads the job store and tier caches from StatePath. A
+// missing or corrupt-beyond-recovery store degrades to a cold start
+// (the ckpt layer already rolled back to .prev if it could); a store
+// for a different tier configuration is a hard error, matching the
+// repo-wide convention that foreign state fails loudly.
+func (s *Server) restore() error {
+	fp, err := s.storeFingerprint()
+	if err != nil {
+		return err
+	}
+	snap, note, err := ckpt.LoadLatest(s.jobStorePath(), ckpt.Meta{Kind: storeKind, Fingerprint: fp})
+	if note != "" {
+		s.opts.Logf("serve: restore: %s", note)
+	}
+	switch {
+	case err == nil:
+		s.mu.Lock()
+		for i := 0; i < snap.Len(); i++ {
+			var rec storedJob
+			if err := snap.Decode(i, &rec); err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("serve: job store entry %d: %w", i, err)
+			}
+			s.jobs[rec.ID] = restoredJob(rec)
+		}
+		s.mu.Unlock()
+		s.opts.Logf("serve: restored %d completed jobs", snap.Len())
+	case errors.Is(err, fs.ErrNotExist):
+		s.opts.Logf("serve: no job store at %s; starting cold", s.jobStorePath())
+	default:
+		var corrupt *ckpt.CorruptError
+		if errors.As(err, &corrupt) {
+			s.opts.Logf("serve: %v — no recoverable job store; starting cold", err)
+			break
+		}
+		return err
+	}
+
+	for _, t := range s.tiers {
+		n, notes, err := s.sessions[t.Name].LoadCache(s.cachePath(t.Name))
+		for _, msg := range notes {
+			s.opts.Logf("serve: restore %s: %s", t.Name, msg)
+		}
+		if err != nil {
+			return fmt.Errorf("serve: load %s window cache: %w", t.Name, err)
+		}
+		if n > 0 {
+			s.opts.Logf("serve: restored %d %s windows", n, t.Name)
+		}
+	}
+	return nil
+}

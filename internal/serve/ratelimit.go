@@ -1,0 +1,97 @@
+package serve
+
+import "sync"
+
+// bucket is one client's token-bucket state, stored by value so the
+// limiter map never hands out pointers into unguarded memory.
+type bucket struct {
+	tokens  float64 // fractional tokens currently available
+	lastNS  int64   // clock reading at the last refill
+	touched int64   // clock reading at the last use, for pruning
+}
+
+// limiter applies a per-client token bucket to submissions. Time is
+// injected as nanosecond readings so admission decisions are
+// reproducible under a fake clock in tests. A zero rate disables
+// limiting.
+type limiter struct {
+	ratePerSec float64
+	burst      float64
+
+	mu sync.Mutex
+	// r3dlint:guardedby mu
+	buckets map[string]bucket
+}
+
+func newLimiter(ratePerSec float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		ratePerSec: ratePerSec,
+		burst:      float64(burst),
+		buckets:    make(map[string]bucket),
+	}
+}
+
+// pruneAfterNS is how long an idle client's bucket is kept before it is
+// dropped (an idle bucket refills to full well before this anyway).
+const pruneAfterNS = int64(10 * 60 * 1e9)
+
+// allow spends one token for client if available. When the bucket is
+// empty it reports false plus the whole seconds (rounded up, minimum 1)
+// until one token refills, for the Retry-After header.
+func (l *limiter) allow(client string, nowNS int64) (ok bool, retryAfterSec int64) {
+	if l.ratePerSec <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	b, exists := l.buckets[client]
+	if !exists {
+		b = bucket{tokens: l.burst, lastNS: nowNS}
+	}
+	elapsed := nowNS - b.lastNS
+	if elapsed > 0 {
+		b.tokens += float64(elapsed) / 1e9 * l.ratePerSec
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.lastNS = nowNS
+	b.touched = nowNS
+
+	if b.tokens >= 1 {
+		b.tokens--
+		l.buckets[client] = b
+		l.pruneLocked(nowNS)
+		return true, 0
+	}
+	l.buckets[client] = b
+	l.pruneLocked(nowNS)
+
+	needSec := (1 - b.tokens) / l.ratePerSec
+	retryAfterSec = int64(needSec)
+	if float64(retryAfterSec) < needSec {
+		retryAfterSec++
+	}
+	if retryAfterSec < 1 {
+		retryAfterSec = 1
+	}
+	return false, retryAfterSec
+}
+
+// pruneLocked drops buckets idle long enough to have refilled to full,
+// bounding the map under churning client populations.
+func (l *limiter) pruneLocked(nowNS int64) {
+	if len(l.buckets) < 1024 {
+		return
+	}
+	//lint:ignore maporder pure pruning sweep; each key is deleted independently, order cannot affect the surviving set
+	for c, b := range l.buckets {
+		if nowNS-b.touched > pruneAfterNS {
+			delete(l.buckets, c)
+		}
+	}
+}
