@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-strict lint-json race race-engine fmt campaign-smoke bench-fast crash-test serve-smoke
+.PHONY: all build test lint lint-strict lint-json race race-engine fmt campaign-smoke bench-fast bench-thermal crash-test serve-smoke
 
 all: build lint test
 
@@ -46,14 +46,23 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # Quick race pass over just the concurrent machinery: the experiment
-# session's concurrency tests (engine-backed memoization, thermal
-# lock), the run engine, the campaign worker pool (journal writes under
+# session's concurrency tests (engine-backed memoization, the thermal
+# snapshot store's singleflight), the parallel thermal solver's banded
+# sweeps, the run engine, the campaign worker pool (journal writes under
 # commitState.mu) and the checkpoint crash/restore tests that race a
 # snapshotter against live commits. The rest of the experiment suite is
 # serial render code — `make race` covers it.
 race-engine:
 	$(GO) test -race -count=1 -run 'Concurrent|WorkerCount|Race' ./internal/experiment/
+	$(GO) test -race -count=1 -run 'Solve|Precondition|SetPower|Clone' ./internal/thermal/
 	$(GO) test -race -count=1 ./internal/runsched/ ./internal/campaign/ ./internal/ckpt/ ./internal/serve/
+
+# Thermal solver microbenchmarks: one cold fine-grid solve, a warm
+# re-solve from an already-converged field, and the production path
+# (cold + coarse-grid preconditioner). Compare ns/op to see what the
+# preconditioner buys per solve.
+bench-thermal:
+	$(GO) test -run - -bench 'BenchmarkSolve(Cold|Warm|Preconditioned)' -benchtime 3x ./internal/thermal/
 
 fmt:
 	gofmt -w .

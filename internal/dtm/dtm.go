@@ -99,11 +99,18 @@ type Controller struct {
 // New builds a controller over a fresh transient model of the given
 // stack.
 func New(cfg thermal.Config, pol Policy) (*Controller, error) {
+	return NewFromModel(thermal.NewModel(cfg), pol)
+}
+
+// NewFromModel builds a controller over a shared immutable thermal
+// model, so repeated DTM runs on the same stack skip the conductance
+// precompute. The controller owns a private transient state.
+func NewFromModel(m *thermal.Model, pol Policy) (*Controller, error) {
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
 	c := &Controller{
-		tr:      thermal.NewTransient(cfg),
+		tr:      thermal.NewTransientFromModel(m),
 		pol:     pol,
 		freqGHz: pol.MaxGHz,
 	}

@@ -89,7 +89,7 @@ func TestTables678(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	r, err := Figure4(session())
+	r, err := Figure4(session(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	r, err := Figure5(session())
+	r, err := Figure5(session(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestSection34(t *testing.T) {
 }
 
 func TestSection32(t *testing.T) {
-	r, err := Section32Variants(session())
+	r, err := Section32Variants(session(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +398,7 @@ func TestDTMStudy(t *testing.T) {
 
 func TestRenderersNonEmpty(t *testing.T) {
 	s := session()
-	f4, err := Figure4(s)
+	f4, err := Figure4(s, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

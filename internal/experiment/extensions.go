@@ -125,13 +125,11 @@ func DTMStudy(s *Session, horizonMs float64) (DTMStudyResult, error) {
 		die1 := power.LeadingCorePower(act, 1, 1)
 		bank := power.L2BankPower(rate6, 1) + noc.RouterPowerW
 		die2 := power.BlockPowers{}
-		var cfg thermal.Config
 		switch model {
 		case M2DA:
 			for i := 0; i < 6; i++ {
 				die1[fmt.Sprintf("L2Bank%d", i)] = bank
 			}
-			cfg = thermal.Stack2D(fp.DieW, fp.DieH)
 		case M3D2A:
 			for i := 0; i < 6; i++ {
 				die1[fmt.Sprintf("L2Bank%d", i)] = power.L2BankPower(rate15, 1) + noc.RouterPowerW
@@ -140,10 +138,11 @@ func DTMStudy(s *Session, horizonMs float64) (DTMStudyResult, error) {
 				die2[fmt.Sprintf("TopBank%d", i)] = power.L2BankPower(rate15, 1) + noc.RouterPowerW
 			}
 			die2["Checker"] = checkerW
-			cfg = thermal.Stack3D(fp.DieW, fp.DieH)
 		}
-		cfg.Nx, cfg.Ny = dtmGridRes, dtmGridRes
-		ctl, err := dtm.New(cfg, res.Policy)
+		// The transient stack is shared through the session's model
+		// cache, so both DTM runs (and any repeat) skip the conductance
+		// precompute; each controller still owns a private state.
+		ctl, err := dtm.NewFromModel(s.thermalModel(fp, dtmGridRes), res.Policy)
 		if err != nil {
 			return dtm.Stats{}, err
 		}

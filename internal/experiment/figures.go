@@ -34,18 +34,31 @@ type Figure4Result struct {
 }
 
 // Figure4Manifest declares the suite-activity windows behind the power
-// maps (the thermal sweep itself is solved serially at render time).
+// maps (the thermal sweep itself is prefetched through the session's
+// thermal snapshot store at render time).
 func Figure4Manifest(q Quality) []RunKey {
 	return activityKeys(q, L2DA)
 }
 
-// Figure4 regenerates Figure 4 using suite-average activity.
-func Figure4(s *Session) (Figure4Result, error) {
+// Figure4 regenerates Figure 4 using suite-average activity. The
+// 15-case thermal sweep is prefetched across workers; rendering then
+// reads the published snapshots.
+func Figure4(s *Session, workers int) (Figure4Result, error) {
 	act, rate6, err := s.SuiteActivity(L2DA)
 	if err != nil {
 		return Figure4Result{}, err
 	}
 	rate15 := rate6 * 6 / 15 // same traffic spread over more banks
+
+	cases := []ThermalCase{{Model: M2DA, Act: act, L2Rate: rate6}}
+	for _, w := range CheckerPowerSweep {
+		cases = append(cases,
+			ThermalCase{Model: M2D2A, Act: act, L2Rate: rate15, CheckerW: w},
+			ThermalCase{Model: M3D2A, Act: act, L2Rate: rate15, CheckerW: w})
+	}
+	if err := s.PrefetchThermal(cases, workers); err != nil {
+		return Figure4Result{}, err
+	}
 
 	base, err := s.SolveThermal(ThermalCase{Model: M2DA, Act: act, L2Rate: rate6})
 	if err != nil {
@@ -100,9 +113,28 @@ func Figure5Manifest(q Quality) []RunKey {
 	return activityKeys(q, L2DA)
 }
 
-// Figure5 regenerates Figure 5.
-func Figure5(s *Session) (Figure5Result, error) {
+// Figure5 regenerates Figure 5. The per-benchmark 5-case sweeps are
+// prefetched across workers as one batch (5·N cases), then rendered
+// from the published snapshots.
+func Figure5(s *Session, workers int) (Figure5Result, error) {
 	var res Figure5Result
+	var batch []ThermalCase
+	for _, b := range s.Q.Suite() {
+		act, rate6, err := s.BenchActivity(b.Profile.Name, L2DA)
+		if err != nil {
+			return Figure5Result{}, err
+		}
+		rate15 := rate6 * 6 / 15
+		batch = append(batch,
+			ThermalCase{Model: M2DA, Act: act, L2Rate: rate6},
+			ThermalCase{Model: M2D2A, Act: act, L2Rate: rate15, CheckerW: power.CheckerOptimisticW},
+			ThermalCase{Model: M3D2A, Act: act, L2Rate: rate15, CheckerW: power.CheckerOptimisticW},
+			ThermalCase{Model: M2D2A, Act: act, L2Rate: rate15, CheckerW: power.CheckerPessimisticW},
+			ThermalCase{Model: M3D2A, Act: act, L2Rate: rate15, CheckerW: power.CheckerPessimisticW})
+	}
+	if err := s.PrefetchThermal(batch, workers); err != nil {
+		return Figure5Result{}, err
+	}
 	for _, b := range s.Q.Suite() {
 		name := b.Profile.Name
 		act, rate6, err := s.BenchActivity(name, L2DA)

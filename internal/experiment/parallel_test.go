@@ -40,9 +40,10 @@ func firstDiffLine(a, b string) string {
 
 // TestWorkerCountByteIdentity is the engine's hard invariant: the full
 // fast-quality suite renders byte-identically on a -workers 1 session
-// and a second, fresh -workers 8 session. (A warm re-render on one
-// session is NOT byte-stable — thermal solvers intentionally warm-start
-// from the previous converged field — so only fresh sessions compare.)
+// and a second, fresh -workers 8 session. Thermal solves are pure
+// functions of their case key (cold start + deterministic coarse-grid
+// preconditioner, memoized as immutable snapshots), so they hold this
+// invariant even while running concurrently inside the render.
 func TestWorkerCountByteIdentity(t *testing.T) {
 	if raceEnabled {
 		t.Skip("full fast render is too slow under the race detector; TestConcurrentSessionRace covers concurrency")
@@ -67,6 +68,98 @@ func TestWorkerCountByteIdentity(t *testing.T) {
 	}
 	if st8.Errors != 0 || st8.Computed == 0 || st8.Hits == 0 {
 		t.Errorf("implausible engine stats: %+v", st8)
+	}
+	// Thermal work must also be schedule-independent: the same distinct
+	// cases solved once each, everything else answered from snapshots.
+	th1, th8 := s1.ThermalStats(), s8.ThermalStats()
+	if th1.Solves != th8.Solves || th1.FineIters != th8.FineIters || th1.CoarseIters != th8.CoarseIters {
+		t.Errorf("thermal stats differ across worker counts: %+v vs %+v", th1, th8)
+	}
+	if th8.Solves == 0 || th8.Hits == 0 {
+		t.Errorf("implausible thermal stats: %+v", th8)
+	}
+}
+
+// TestConcurrentThermalSolves hammers the thermal snapshot store: many
+// goroutines solving an overlapping case list concurrently must (a)
+// race-cleanly collapse duplicates onto one solve per distinct case and
+// (b) return results bit-identical to a fresh serial session — the
+// store's contents must not depend on arrival order or worker count.
+func TestConcurrentThermalSolves(t *testing.T) {
+	q := Fast()
+	q.Benchmarks = []string{"gzip", "mesa"}
+	q.WarmupInsts = 2_000
+	q.MeasureInsts = 4_000
+	q.ThermalTolC = 0.5
+	q.ThermalMaxIters = 200
+	s := NewParallelSession(q, 4, nil)
+	act, rate, err := s.SuiteActivity(L2DA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []ThermalCase{
+		{Model: M2DA, Act: act, L2Rate: rate},
+		{Model: M2D2A, Act: act, L2Rate: rate, CheckerW: 7},
+		{Model: M3D2A, Act: act, L2Rate: rate, CheckerW: 7},
+		{Model: M3D2A, Act: act, L2Rate: rate, CheckerW: 15},
+		{Model: M3DChecker, Act: act, L2Rate: rate, CheckerW: 7},
+	}
+
+	const rounds = 4
+	results := make([][]ThermalResult, rounds)
+	var wg sync.WaitGroup
+	errc := make(chan error, rounds*len(cases)+rounds)
+	for r := 0; r < rounds; r++ {
+		results[r] = make([]ThermalResult, len(cases))
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := s.PrefetchThermal(cases, 3); err != nil {
+				errc <- err
+				return
+			}
+			for i, c := range cases {
+				res, err := s.SolveThermal(c)
+				if err != nil {
+					errc <- err
+					return
+				}
+				results[r][i] = res
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for r := 1; r < rounds; r++ {
+		for i := range cases {
+			if results[r][i] != results[0][i] {
+				t.Fatalf("round %d case %d: %+v != %+v", r, i, results[r][i], results[0][i])
+			}
+		}
+	}
+
+	th := s.ThermalStats()
+	if th.Solves != int64(len(cases)) {
+		t.Errorf("Solves = %d, want exactly %d (per-key singleflight must dedup)", th.Solves, len(cases))
+	}
+	if th.Hits == 0 {
+		t.Errorf("concurrent repeats produced no snapshot hits: %+v", th)
+	}
+
+	// A fresh serial session must publish bit-identical snapshots: the
+	// solve is a pure function of the case, not of the schedule.
+	s2 := NewSession(q)
+	for i, c := range cases {
+		res, err := s2.SolveThermal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != results[0][i] {
+			t.Errorf("case %d: serial session %+v != concurrent session %+v", i, res, results[0][i])
+		}
 	}
 }
 

@@ -25,12 +25,13 @@ type RunTiming struct {
 type EngineReport struct {
 	Workers int            `json:"workers"`
 	Stats   runsched.Stats `json:"stats"`
+	Thermal ThermalStats   `json:"thermal"`
 	Runs    []RunTiming    `json:"runs"`
 }
 
 // EngineReport builds the current report from the run engine's records.
 func (s *Session) EngineReport() EngineReport {
-	rep := EngineReport{Workers: s.eng.Workers(), Stats: s.eng.Stats()}
+	rep := EngineReport{Workers: s.eng.Workers(), Stats: s.eng.Stats(), Thermal: s.ThermalStats()}
 	for _, rec := range s.eng.Records() {
 		rt := RunTiming{
 			Key:    rec.Key.String(),
@@ -65,6 +66,10 @@ func (r EngineReport) String() string {
 		r.Workers, st.Computed, st.Errors, st.Hits, st.Joins)
 	fmt.Fprintf(&b, "engine: batches requested %d keys, %d deduplicated; compute wall %.1f ms total\n",
 		st.BatchRequested, st.BatchDeduped, float64(st.ComputeNanos)/1e6)
+	if th := r.Thermal; th.Solves > 0 {
+		fmt.Fprintf(&b, "thermal: %d solves, %d snapshot hits, %d joins; %d fine + %d coarse SOR iters\n",
+			th.Solves, th.Hits, th.Joins, th.FineIters, th.CoarseIters)
+	}
 	runs := make([]RunTiming, len(r.Runs))
 	copy(runs, r.Runs)
 	sort.SliceStable(runs, func(i, j int) bool { return runs[i].WallMS > runs[j].WallMS })

@@ -258,14 +258,32 @@ func Section32Manifest(q Quality) []RunKey {
 	return activityKeys(q, L2DA)
 }
 
-// Section32Variants regenerates the §3.2 design variants.
-func Section32Variants(s *Session) (Section32Result, error) {
+// Section32Variants regenerates the §3.2 design variants. The seven
+// thermal what-ifs are prefetched across workers, then rendered from
+// the published snapshots.
+func Section32Variants(s *Session, workers int) (Section32Result, error) {
 	act, rate6, err := s.SuiteActivity(L2DA)
 	if err != nil {
 		return Section32Result{}, err
 	}
 	rate15 := rate6 * 6 / 15
 	var res Section32Result
+
+	corner := floorplan.DefaultOptions()
+	corner.CheckerAtCorner = true
+	double := floorplan.DefaultOptions()
+	double.CheckerPowerDensityScale = 0.5
+	if err := s.PrefetchThermal([]ThermalCase{
+		{Model: M2DA, Act: act, L2Rate: rate6},
+		{Model: M3D2A, Act: act, L2Rate: rate15, CheckerW: power.CheckerPessimisticW},
+		{Model: M3D2A, Act: act, L2Rate: rate15, CheckerW: power.CheckerOptimisticW},
+		{Model: M3DChecker, Act: act, L2Rate: rate15, CheckerW: power.CheckerPessimisticW},
+		{Model: M3DChecker, Act: act, L2Rate: rate15, CheckerW: power.CheckerOptimisticW},
+		{Model: M3D2A, Opt: corner, Act: act, L2Rate: rate15, CheckerW: power.CheckerPessimisticW},
+		{Model: M3D2A, Opt: double, Act: act, L2Rate: rate15, CheckerW: power.CheckerPessimisticW},
+	}, workers); err != nil {
+		return res, err
+	}
 
 	base, err := s.SolveThermal(ThermalCase{Model: M2DA, Act: act, L2Rate: rate6})
 	if err != nil {
@@ -292,13 +310,9 @@ func Section32Variants(s *Session) (Section32Result, error) {
 	if res.TInactive7, err = solve(M3DChecker, floorplan.DefaultOptions(), power.CheckerOptimisticW); err != nil {
 		return res, err
 	}
-	corner := floorplan.DefaultOptions()
-	corner.CheckerAtCorner = true
 	if res.TCorner15, err = solve(M3D2A, corner, power.CheckerPessimisticW); err != nil {
 		return res, err
 	}
-	double := floorplan.DefaultOptions()
-	double.CheckerPowerDensityScale = 0.5
 	if res.TDouble15, err = solve(M3D2A, double, power.CheckerPessimisticW); err != nil {
 		return res, err
 	}

@@ -111,18 +111,32 @@ type runValue struct {
 
 // Session caches simulation windows across experiments behind a
 // deterministic run engine. It is safe for concurrent use: windows are
-// memoized with per-key singleflight, and the thermal solver cache is
-// serialized (warm-started solvers are stateful, so thermal results
-// depend on solve order — experiments solve them in render order, which
-// stays serial).
+// memoized with per-key singleflight, and thermal solves are memoized
+// the same way — each distinct case (geometry + power maps) is a pure
+// function of its key, solved once on a private State over a shared
+// immutable thermal.Model and published as an immutable snapshot.
+// thermalMu only guards the store's maps; it is never held across a
+// solve, so independent thermal cases solve concurrently.
 type Session struct {
 	Q   Quality
 	eng *runsched.Engine[RunKey, runValue]
 
-	// thermalMu guards solvers and serializes whole thermal solves.
+	// thermalMu guards the thermal snapshot store (the four fields
+	// below). Solves run outside the lock on private states.
 	thermalMu sync.Mutex
+	// models caches immutable thermal models per stack geometry.
 	// r3dlint:guardedby thermalMu
-	solvers map[string]*thermal.Solver
+	models map[string]*thermal.Model
+	// thermalSnaps holds the published solve per case key.
+	// r3dlint:guardedby thermalMu
+	thermalSnaps map[thermalKey]*thermalSnapshot
+	// thermalInflight marks cases being solved right now; late arrivals
+	// join by waiting on the call's done channel.
+	// r3dlint:guardedby thermalMu
+	thermalInflight map[thermalKey]*thermalCall
+	// thermalStats counts store traffic (solves, hits, joins, iterations).
+	// r3dlint:guardedby thermalMu
+	thermalStats ThermalStats
 
 	// thermalWarn counts solves that hit ThermalMaxIters before reaching
 	// ThermalTolC (see ThermalResult.Converged).
@@ -163,8 +177,10 @@ func NewParallelSession(q Quality, workers int, clock func() int64) *Session {
 // NewSessionWith creates a session with the full option set.
 func NewSessionWith(q Quality, opts SessionOptions) *Session {
 	s := &Session{
-		Q:       q,
-		solvers: map[string]*thermal.Solver{},
+		Q:               q,
+		models:          map[string]*thermal.Model{},
+		thermalSnaps:    map[thermalKey]*thermalSnapshot{},
+		thermalInflight: map[thermalKey]*thermalCall{},
 	}
 	engOpts := runsched.Options[RunKey, runValue]{
 		Workers: opts.Workers,

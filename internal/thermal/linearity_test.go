@@ -79,11 +79,12 @@ func TestPowerBalance(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Solve(1e-7, 200000)
+	m := s.Model()
 	var out float64
 	for y := 0; y < cfg.Ny; y++ {
 		for x := 0; x < cfg.Nx; x++ {
-			out += s.gSink * float64(s.CellC(0, y, x)-cfg.AmbientC)
-			out += s.gPack * float64(s.CellC(s.nl-1, y, x)-cfg.AmbientC)
+			out += m.gSink * float64(s.CellC(0, y, x)-cfg.AmbientC)
+			out += m.gPack * float64(s.CellC(m.nl-1, y, x)-cfg.AmbientC)
 		}
 	}
 	if math.Abs(out-P) > 0.02*P {

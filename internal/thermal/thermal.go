@@ -11,14 +11,22 @@
 // spreading) resistance, and each top cell couples weakly to ambient
 // through the package. Power is injected in the active-silicon layers.
 // The resulting linear system is solved by red-black successive
-// over-relaxation with warm-start support, so repeated solves over the
-// same geometry (e.g., the 19 per-benchmark power maps of Figure 5)
-// converge quickly.
+// over-relaxation.
+//
+// The solver is split into an immutable Model (geometry and
+// conductances, shareable between any number of concurrent solves) and
+// a cheap per-solve State (temperature and power fields, cloneable).
+// Red-black half-sweeps fan out across row bands with byte-identical
+// results at any worker count, and a coarse-grid preconditioner
+// (Precondition) provides a deterministic warm start that replaces
+// order-sensitive warm-start chaining. Solver bundles a Model with one
+// State for callers that don't need concurrency.
 package thermal
 
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Table 3 parameters.
@@ -161,226 +169,118 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Solver solves the steady-state temperature field.
+// Solver bundles an immutable Model with one State, preserving the
+// original single-owner API for callers that don't share the model
+// between concurrent solves. A Solver is not safe for concurrent use;
+// share its Model and give each goroutine its own State instead.
 type Solver struct {
-	cfg Config
-	nl  int // layers
-	nx  int
-	ny  int
-
-	// conductances (W/K)
-	gUp   []float64 // per layer: vertical conductance to the layer above
-	gLat  []float64 // per layer: lateral conductance to each neighbour
-	gSink float64   // per bottom cell
-	gPack float64   // per top cell
-
-	temp  []float64 // [layer][y][x] flattened, °C
-	power []float64 // injected power per cell, W
-	// ambient mirrors cfg.AmbientC as a raw float64 so the inner solver
-	// loops stay conversion-free.
-	ambient float64
-
-	heatLayers []int
+	m  *Model
+	st *State
 }
 
-// NewSolver builds a solver; it panics on invalid configuration.
-func NewSolver(cfg Config) *Solver {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	s := &Solver{cfg: cfg, nl: len(cfg.Layers), nx: cfg.Nx, ny: cfg.Ny, ambient: float64(cfg.AmbientC)}
-	n := s.nl * s.nx * s.ny
-	s.temp = make([]float64, n)
-	s.power = make([]float64, n)
-	for i := range s.temp {
-		s.temp[i] = s.ambient
-	}
+// NewSolver builds a solver over a fresh model; it panics on invalid
+// configuration.
+func NewSolver(cfg Config) *Solver { return NewModel(cfg).NewSolver() }
 
-	cellWm := cfg.DieWmm / float64(cfg.Nx) * 1e-3 // m
-	cellHm := cfg.DieHmm / float64(cfg.Ny) * 1e-3
-	cellArea := cellWm * cellHm
+// NewSolver returns a Solver owning a fresh ambient-temperature state
+// over this model.
+func (m *Model) NewSolver() *Solver { return &Solver{m: m, st: m.NewState()} }
 
-	// Vertical conductance between layer l and l+1: series of half
-	// thicknesses.
-	s.gUp = make([]float64, s.nl)
-	for l := 0; l < s.nl-1; l++ {
-		r1 := cfg.Layers[l].Resistivity * (cfg.Layers[l].ThicknessUm * 1e-6 / 2) / cellArea
-		r2 := cfg.Layers[l+1].Resistivity * (cfg.Layers[l+1].ThicknessUm * 1e-6 / 2) / cellArea
-		s.gUp[l] = 1 / (r1 + r2)
-	}
+// Solver wraps the state in the single-owner Solver API (no copy: the
+// returned solver aliases the state).
+func (st *State) Solver() *Solver { return &Solver{m: st.m, st: st} }
 
-	// Lateral conductance within layer l between adjacent cells:
-	// G = A_cross / (ρ · pitch); width-direction neighbours see cross
-	// section t×cellH over distance cellW (and vice versa). Cells are
-	// near-square; use the geometric mean pitch for both directions.
-	s.gLat = make([]float64, s.nl)
-	for l := 0; l < s.nl; l++ {
-		t := cfg.Layers[l].ThicknessUm * 1e-6
-		pitch := math.Sqrt(cellWm * cellHm)
-		s.gLat[l] = t * pitch / (cfg.Layers[l].Resistivity * pitch)
-	}
+// Model returns the immutable model the solver solves over.
+func (s *Solver) Model() *Model { return s.m }
 
-	// Boundary couplings include the half-thickness of the boundary
-	// layer (cell temperatures live at layer centers).
-	ncells := float64(s.nx * s.ny)
-	rHalfBot := cfg.Layers[0].Resistivity * (cfg.Layers[0].ThicknessUm * 1e-6 / 2) / cellArea
-	rHalfTop := cfg.Layers[s.nl-1].Resistivity * (cfg.Layers[s.nl-1].ThicknessUm * 1e-6 / 2) / cellArea
-	s.gSink = 1 / (cfg.SinkResistanceKperW*ncells + rHalfBot)
-	s.gPack = 1 / (cfg.PackageResistanceKperW*ncells + rHalfTop)
-
-	for l, ly := range cfg.Layers {
-		if ly.Heat {
-			s.heatLayers = append(s.heatLayers, l)
-		}
-	}
-	return s
-}
+// State returns the solver's mutable state.
+func (s *Solver) State() *State { return s.st }
 
 // HeatLayers returns the indices of the active (power-injecting) layers
 // in stack order (die 1 first).
-func (s *Solver) HeatLayers() []int {
-	out := make([]int, len(s.heatLayers))
-	copy(out, s.heatLayers)
-	return out
-}
-
-func (s *Solver) idx(l, y, x int) int { return (l*s.ny+y)*s.nx + x }
+func (s *Solver) HeatLayers() []int { return s.m.HeatLayers() }
 
 // SetPower installs the power map (W per cell) for the die with the
 // given heat-layer ordinal (0 = die 1, 1 = die 2). The grid dimensions
-// must match the solver's.
-func (s *Solver) SetPower(die int, grid [][]float64) error {
-	if die < 0 || die >= len(s.heatLayers) {
-		return fmt.Errorf("thermal: no heat layer %d", die)
-	}
-	if len(grid) != s.ny || len(grid[0]) != s.nx {
-		return fmt.Errorf("thermal: power grid is %dx%d, want %dx%d", len(grid[0]), len(grid), s.nx, s.ny)
-	}
-	l := s.heatLayers[die]
-	for y := 0; y < s.ny; y++ {
-		for x := 0; x < s.nx; x++ {
-			s.power[s.idx(l, y, x)] = grid[y][x]
-		}
-	}
-	return nil
-}
+// must match the solver's: every row is length-checked, so a ragged
+// grid is an error, never a panic.
+func (s *Solver) SetPower(die int, grid [][]float64) error { return s.st.SetPower(die, grid) }
 
 // TotalPower returns the injected power in watts.
-func (s *Solver) TotalPower() float64 {
-	var p float64
-	for _, w := range s.power {
-		p += w
-	}
-	return p
-}
+func (s *Solver) TotalPower() float64 { return s.st.TotalPower() }
 
 // Solve iterates red-black SOR until the maximum update falls below
 // tolC (°C) or maxIters is reached, returning the iteration count and
 // whether the tolerance was actually met. converged=false means the
 // field is the best available estimate, not a solution: callers must
 // not silently treat an iteration-capped field as settled. The previous
-// solution is kept as the starting point (warm start).
-//
-// r3dlint:blocks whole-grid SOR relaxation, up to maxIters sweeps over every cell
+// solution is kept as the starting point (warm start). See State.Solve
+// for the parallel-sweep determinism contract.
 func (s *Solver) Solve(tolC Celsius, maxIters int) (iters int, converged bool) {
-	const omega = 1.85
-	tol := float64(tolC)
-	for it := 1; it <= maxIters; it++ {
-		var maxDelta float64
-		for parity := 0; parity < 2; parity++ {
-			for l := 0; l < s.nl; l++ {
-				for y := 0; y < s.ny; y++ {
-					x0 := (y + l + parity) % 2
-					for x := x0; x < s.nx; x += 2 {
-						i := s.idx(l, y, x)
-						var gSum, flow float64
-						if l > 0 {
-							g := s.gUp[l-1]
-							gSum += g
-							flow += g * s.temp[s.idx(l-1, y, x)]
-						} else {
-							gSum += s.gSink
-							flow += s.gSink * s.ambient
-						}
-						if l < s.nl-1 {
-							g := s.gUp[l]
-							gSum += g
-							flow += g * s.temp[s.idx(l+1, y, x)]
-						} else {
-							gSum += s.gPack
-							flow += s.gPack * s.ambient
-						}
-						gl := s.gLat[l]
-						if x > 0 {
-							gSum += gl
-							flow += gl * s.temp[i-1]
-						}
-						if x < s.nx-1 {
-							gSum += gl
-							flow += gl * s.temp[i+1]
-						}
-						if y > 0 {
-							gSum += gl
-							flow += gl * s.temp[i-s.nx]
-						}
-						if y < s.ny-1 {
-							gSum += gl
-							flow += gl * s.temp[i+s.nx]
-						}
-						tNew := (flow + s.power[i]) / gSum
-						delta := tNew - s.temp[i]
-						s.temp[i] += omega * delta
-						if d := math.Abs(delta); d > maxDelta {
-							maxDelta = d
-						}
-					}
-				}
-			}
-		}
-		if maxDelta < tol {
-			return it, true
-		}
-	}
-	return maxIters, false
+	return s.st.Solve(tolC, maxIters)
 }
 
 // PeakC returns the maximum temperature over the given die's active
 // layer (die ordinal as in SetPower).
-func (s *Solver) PeakC(die int) Celsius {
-	l := s.heatLayers[die]
-	peak := math.Inf(-1)
-	for y := 0; y < s.ny; y++ {
-		for x := 0; x < s.nx; x++ {
-			if t := s.temp[s.idx(l, y, x)]; t > peak {
-				peak = t
-			}
-		}
-	}
-	return Celsius(peak)
-}
+func (s *Solver) PeakC(die int) Celsius { return s.st.PeakC(die) }
 
 // PeakAllC returns the maximum temperature over all active layers.
-func (s *Solver) PeakAllC() Celsius {
-	peak := Celsius(math.Inf(-1))
-	for d := range s.heatLayers {
-		if t := s.PeakC(d); t > peak {
-			peak = t
-		}
-	}
-	return peak
-}
+func (s *Solver) PeakAllC() Celsius { return s.st.PeakAllC() }
 
 // CellC returns the temperature of one cell.
-func (s *Solver) CellC(layer, y, x int) Celsius { return Celsius(s.temp[s.idx(layer, y, x)]) }
+func (s *Solver) CellC(layer, y, x int) Celsius { return s.st.CellC(layer, y, x) }
 
 // MeanC returns the average temperature of the given die's active layer.
-func (s *Solver) MeanC(die int) Celsius {
-	l := s.heatLayers[die]
-	var sum float64
-	for y := 0; y < s.ny; y++ {
-		for x := 0; x < s.nx; x++ {
-			sum += s.temp[s.idx(l, y, x)]
+func (s *Solver) MeanC(die int) Celsius { return s.st.MeanC(die) }
+
+// CopyStateFrom copies another solver's temperature field (the
+// geometries must match); used to start a transient study from a solved
+// steady state.
+func (s *Solver) CopyStateFrom(src *Solver) error {
+	if len(src.st.temp) != len(s.st.temp) {
+		return fmt.Errorf("thermal: geometry mismatch (%d vs %d cells)", len(src.st.temp), len(s.st.temp))
+	}
+	copy(s.st.temp, src.st.temp)
+	return nil
+}
+
+// HeatmapASCII renders one layer's temperature field as a character
+// raster (coarse but invaluable for eyeballing power-map placement).
+// Rows are emitted top edge first.
+func (s *Solver) HeatmapASCII(layer, cols int) string { return s.st.HeatmapASCII(layer, cols) }
+
+// HeatmapASCII renders one layer's temperature field as a character
+// raster. Rows are emitted top edge first.
+func (st *State) HeatmapASCII(layer, cols int) string {
+	m := st.m
+	if cols <= 0 || cols > m.nx {
+		cols = m.nx
+	}
+	ramp := []byte(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for y := 0; y < m.ny; y++ {
+		for x := 0; x < m.nx; x++ {
+			t := st.temp[m.idx(layer, y, x)]
+			lo = math.Min(lo, t)
+			hi = math.Max(hi, t)
 		}
 	}
-	return Celsius(sum / float64(s.nx*s.ny))
+	var b strings.Builder
+	fmt.Fprintf(&b, "layer %d: %.1f–%.1f °C\n", layer, lo, hi)
+	step := m.nx / cols
+	if step < 1 {
+		step = 1
+	}
+	for y := m.ny - 1; y >= 0; y -= step {
+		for x := 0; x < m.nx; x += step {
+			t := st.temp[m.idx(layer, y, x)]
+			idx := 0
+			if hi > lo {
+				idx = int((t - lo) / (hi - lo) * float64(len(ramp)-1))
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

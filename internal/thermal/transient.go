@@ -3,7 +3,6 @@ package thermal
 import (
 	"fmt"
 	"math"
-	"strings"
 )
 
 // Volumetric heat capacities in J/(m³·K) for the transient model
@@ -33,12 +32,14 @@ func capacityFor(l Layer) float64 {
 	}
 }
 
-// Transient wraps a Solver with per-cell thermal capacitance and an
-// explicit time-stepping integrator, for DTM studies where temperature
-// chases a time-varying power map (the paper invokes DTM as the
-// alternative to over-provisioned cooling in §3.2).
+// Transient wraps a Model and State with per-cell thermal capacitance
+// and an explicit time-stepping integrator, for DTM studies where
+// temperature chases a time-varying power map (the paper invokes DTM as
+// the alternative to over-provisioned cooling in §3.2).
 type Transient struct {
-	s *Solver
+	m   *Model
+	st  *State
+	sol *Solver // single-owner view over st for power/readout access
 	// capJ is each cell's heat capacity in joules per kelvin.
 	capJ []float64
 	// maxStablePs is the largest stable explicit-Euler step.
@@ -47,48 +48,54 @@ type Transient struct {
 	scratch     []float64
 }
 
-// NewTransient builds a transient integrator over a fresh solver for the
+// NewTransient builds a transient integrator over a fresh model for the
 // given stack.
-func NewTransient(cfg Config) *Transient {
-	s := NewSolver(cfg)
-	t := &Transient{s: s}
+func NewTransient(cfg Config) *Transient { return NewTransientFromModel(NewModel(cfg)) }
+
+// NewTransientFromModel builds a transient integrator sharing an
+// existing immutable model, so repeated DTM runs over the same stack
+// skip the conductance precompute. The integrator owns a fresh state.
+func NewTransientFromModel(m *Model) *Transient {
+	cfg := m.cfg
+	st := m.NewState()
+	t := &Transient{m: m, st: st, sol: st.Solver()}
 	cellWm := cfg.DieWmm / float64(cfg.Nx) * 1e-3
 	cellHm := cfg.DieHmm / float64(cfg.Ny) * 1e-3
-	t.capJ = make([]float64, len(s.temp))
+	t.capJ = make([]float64, len(st.temp))
 	minTau := math.Inf(1)
-	for l := 0; l < s.nl; l++ {
+	for l := 0; l < m.nl; l++ {
 		vol := cellWm * cellHm * cfg.Layers[l].ThicknessUm * 1e-6
 		c := capacityFor(cfg.Layers[l]) * vol
 		// Total conductance bound for the stability estimate.
-		g := 4 * s.gLat[l]
+		g := 4 * m.gLat[l]
 		if l > 0 {
-			g += s.gUp[l-1]
+			g += m.gUp[l-1]
 		} else {
-			g += s.gSink
+			g += m.gSink
 		}
-		if l < s.nl-1 {
-			g += s.gUp[l]
+		if l < m.nl-1 {
+			g += m.gUp[l]
 		} else {
-			g += s.gPack
+			g += m.gPack
 		}
 		if tau := c / g; tau < minTau {
 			minTau = tau
 		}
-		for y := 0; y < s.ny; y++ {
-			for x := 0; x < s.nx; x++ {
-				t.capJ[s.idx(l, y, x)] = c
+		for y := 0; y < m.ny; y++ {
+			for x := 0; x < m.nx; x++ {
+				t.capJ[m.idx(l, y, x)] = c
 			}
 		}
 	}
 	// Explicit Euler is stable below ~2·τ_min; keep a 4× margin.
 	t.maxStablePs = minTau / 2 * 1e12
-	t.scratch = make([]float64, len(s.temp))
+	t.scratch = make([]float64, len(st.temp))
 	return t
 }
 
-// Solver exposes the underlying steady-state solver (power maps,
-// temperature readout).
-func (t *Transient) Solver() *Solver { return t.s }
+// Solver exposes the integrator's state through the single-owner solver
+// API (power maps, temperature readout).
+func (t *Transient) Solver() *Solver { return t.sol }
 
 // TimePs returns the integrated simulation time.
 func (t *Transient) TimePs() float64 { return t.timePs }
@@ -103,7 +110,7 @@ func (t *Transient) Step(dtPs float64) error {
 	if dtPs <= 0 {
 		return fmt.Errorf("thermal: non-positive step %v", dtPs)
 	}
-	s := t.s
+	m, st := t.m, t.st
 	remaining := dtPs
 	for remaining > 0 {
 		h := remaining
@@ -114,88 +121,41 @@ func (t *Transient) Step(dtPs float64) error {
 		hSec := h * 1e-12
 		// One explicit update: dT = (P − Σ G·(T−T_neighbor)) · h / C.
 		next := t.scratch
-		for l := 0; l < s.nl; l++ {
-			for y := 0; y < s.ny; y++ {
-				for x := 0; x < s.nx; x++ {
-					i := s.idx(l, y, x)
-					ti := s.temp[i]
+		for l := 0; l < m.nl; l++ {
+			for y := 0; y < m.ny; y++ {
+				for x := 0; x < m.nx; x++ {
+					i := m.idx(l, y, x)
+					ti := st.temp[i]
 					var flow float64
 					if l > 0 {
-						flow += s.gUp[l-1] * (s.temp[s.idx(l-1, y, x)] - ti)
+						flow += m.gUp[l-1] * (st.temp[m.idx(l-1, y, x)] - ti)
 					} else {
-						flow += s.gSink * (s.ambient - ti)
+						flow += m.gSink * (m.ambient - ti)
 					}
-					if l < s.nl-1 {
-						flow += s.gUp[l] * (s.temp[s.idx(l+1, y, x)] - ti)
+					if l < m.nl-1 {
+						flow += m.gUp[l] * (st.temp[m.idx(l+1, y, x)] - ti)
 					} else {
-						flow += s.gPack * (s.ambient - ti)
+						flow += m.gPack * (m.ambient - ti)
 					}
-					gl := s.gLat[l]
+					gl := m.gLat[l]
 					if x > 0 {
-						flow += gl * (s.temp[i-1] - ti)
+						flow += gl * (st.temp[i-1] - ti)
 					}
-					if x < s.nx-1 {
-						flow += gl * (s.temp[i+1] - ti)
+					if x < m.nx-1 {
+						flow += gl * (st.temp[i+1] - ti)
 					}
 					if y > 0 {
-						flow += gl * (s.temp[i-s.nx] - ti)
+						flow += gl * (st.temp[i-m.nx] - ti)
 					}
-					if y < s.ny-1 {
-						flow += gl * (s.temp[i+s.nx] - ti)
+					if y < m.ny-1 {
+						flow += gl * (st.temp[i+m.nx] - ti)
 					}
-					next[i] = ti + (flow+s.power[i])*hSec/t.capJ[i]
+					next[i] = ti + (flow+st.power[i])*hSec/t.capJ[i]
 				}
 			}
 		}
-		s.temp, t.scratch = next, s.temp
+		st.temp, t.scratch = next, st.temp
 		t.timePs += h
 	}
 	return nil
-}
-
-// CopyStateFrom copies another solver's temperature field (the
-// geometries must match); used to start a transient study from a solved
-// steady state.
-func (s *Solver) CopyStateFrom(src *Solver) error {
-	if len(src.temp) != len(s.temp) {
-		return fmt.Errorf("thermal: geometry mismatch (%d vs %d cells)", len(src.temp), len(s.temp))
-	}
-	copy(s.temp, src.temp)
-	return nil
-}
-
-// HeatmapASCII renders one layer's temperature field as a character
-// raster (coarse but invaluable for eyeballing power-map placement).
-// Rows are emitted top edge first.
-func (s *Solver) HeatmapASCII(layer, cols int) string {
-	if cols <= 0 || cols > s.nx {
-		cols = s.nx
-	}
-	ramp := []byte(" .:-=+*#%@")
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for y := 0; y < s.ny; y++ {
-		for x := 0; x < s.nx; x++ {
-			t := s.temp[s.idx(layer, y, x)]
-			lo = math.Min(lo, t)
-			hi = math.Max(hi, t)
-		}
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "layer %d: %.1f–%.1f °C\n", layer, lo, hi)
-	step := s.nx / cols
-	if step < 1 {
-		step = 1
-	}
-	for y := s.ny - 1; y >= 0; y -= step {
-		for x := 0; x < s.nx; x += step {
-			t := s.temp[s.idx(layer, y, x)]
-			idx := 0
-			if hi > lo {
-				idx = int((t - lo) / (hi - lo) * float64(len(ramp)-1))
-			}
-			b.WriteByte(ramp[idx])
-		}
-		b.WriteByte('\n')
-	}
-	return b.String()
 }
