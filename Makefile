@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-strict lint-json race race-engine fmt campaign-smoke bench-fast bench-thermal crash-test serve-smoke
+.PHONY: all build test lint lint-strict lint-json lint-stats race race-engine fmt campaign-smoke bench-fast bench-thermal crash-test serve-smoke
 
 all: build lint test
 
@@ -37,6 +37,12 @@ lint-strict:
 #   go run ./cmd/r3dlint -baseline findings.json ./...
 lint-json:
 	$(GO) run ./cmd/r3dlint -json ./...
+
+# Per-analyzer cost report on stderr (wall time + finding counts) —
+# where the suite's budget goes when a run feels slow. Exit code
+# matches lint-strict.
+lint-stats:
+	$(GO) run ./cmd/r3dlint -stats ./...
 
 # Race instrumentation slows the thermal suite well past the default
 # 10-minute per-package limit; give the run the time it needs. (The

@@ -6,12 +6,15 @@
 //
 // Usage:
 //
-//	r3dlint [-list] [-json] [-baseline file [-fix-baseline]] [dir]
+//	r3dlint [-list] [-json] [-only names] [-skip names] [-stats] [-baseline file [-fix-baseline]] [dir]
 //
 // dir defaults to the current directory; a trailing /... is accepted
 // (and ignored — the whole module is always analyzed). -json emits the
 // findings as a byte-stable JSON array (the same format -baseline
-// consumes); -baseline suppresses the findings recorded in the given
+// consumes); -only and -skip filter the suite by comma-separated
+// analyzer name (an unknown name is a usage error listing the valid
+// ones); -stats reports per-analyzer wall time and finding counts on
+// stderr; -baseline suppresses the findings recorded in the given
 // file and fails only on regressions, reporting baseline entries that
 // no longer match anything as stale (non-fatal); -fix-baseline
 // rewrites the -baseline file in place, dropping those stale entries.
@@ -27,9 +30,19 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"r3d/internal/lint"
 )
+
+// statsEpoch anchors the -stats clock so readings stay on the
+// monotonic clock.
+var statsEpoch = time.Now()
+
+// statsClock is the nanosecond clock behind -stats. It is a package
+// variable so tests can inject a deterministic clock and pin the stats
+// block byte-for-byte.
+var statsClock = func() int64 { return int64(time.Since(statsEpoch)) }
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -58,10 +71,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array (byte-stable)")
+	only := fs.String("only", "", "run only these `analyzers` (comma-separated)")
+	skip := fs.String("skip", "", "skip these `analyzers` (comma-separated)")
+	stats := fs.Bool("stats", false, "report per-analyzer wall time and finding counts on stderr")
 	baseline := fs.String("baseline", "", "suppress findings recorded in this JSON `file`; fail only on regressions")
 	fixBaseline := fs.Bool("fix-baseline", false, "rewrite the -baseline file in place, dropping stale entries")
 	fs.Usage = func() {
-		printf(stderr, "usage: r3dlint [-list] [-json] [-baseline file [-fix-baseline]] [dir]\n\nAnalyzers:\n")
+		printf(stderr, "usage: r3dlint [-list] [-json] [-only names] [-skip names] [-stats] [-baseline file [-fix-baseline]] [dir]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			printf(stderr, "  %-13s %s\n", a.Name, a.Doc)
 		}
@@ -82,6 +98,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	analyzers, ok := selectAnalyzers(*only, *skip, stderr)
+	if !ok {
+		return 2
+	}
+
 	dir := "."
 	if fs.NArg() > 0 {
 		dir = fs.Arg(0)
@@ -93,10 +114,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dir = "."
 	}
 
-	m, findings, err := lint.RunModule(dir)
+	m, err := lint.LoadModule(dir)
 	if err != nil {
 		printf(stderr, "r3dlint: %v\n", err)
 		return 2
+	}
+	var clock func() int64
+	if *stats {
+		clock = statsClock
+	}
+	findings, perAnalyzer := lint.RunDirStats(m.Dir, m.Pkgs, analyzers, clock)
+	if *stats {
+		printf(stderr, "r3dlint: analyzer stats (findings, wall ms):\n")
+		for _, st := range perAnalyzer {
+			printf(stderr, "  %-13s %4d %10.3f\n", st.Name, st.Findings, float64(st.WallNS)/1e6)
+		}
 	}
 
 	if *fixBaseline {
@@ -139,4 +171,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers applies the -only and -skip filters to the registry,
+// preserving registry order: -only restricts the suite, then -skip
+// removes from what remains. An unknown name is a usage error — it
+// prints the valid analyzer names and reports failure.
+func selectAnalyzers(only, skip string, stderr io.Writer) ([]*lint.Analyzer, bool) {
+	all := lint.Analyzers()
+	valid := map[string]bool{}
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		valid[a.Name] = true
+		names = append(names, a.Name)
+	}
+	parse := func(flagName, s string) (map[string]bool, bool) {
+		set := map[string]bool{}
+		for _, n := range strings.Split(s, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !valid[n] {
+				printf(stderr, "r3dlint: unknown analyzer %q in %s (valid: %s)\n", n, flagName, strings.Join(names, ", "))
+				return nil, false
+			}
+			set[n] = true
+		}
+		return set, true
+	}
+	onlySet, ok := parse("-only", only)
+	if !ok {
+		return nil, false
+	}
+	skipSet, ok := parse("-skip", skip)
+	if !ok {
+		return nil, false
+	}
+	selected := make([]*lint.Analyzer, 0, len(all))
+	for _, a := range all {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		selected = append(selected, a)
+	}
+	return selected, true
 }

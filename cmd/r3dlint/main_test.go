@@ -37,7 +37,7 @@ func TestFixtureTextOutput(t *testing.T) {
 	if want := golden(t, "golden.txt"); out != want {
 		t.Errorf("text output mismatch\n--- got ---\n%s--- want ---\n%s", out, want)
 	}
-	if !strings.Contains(stderr, "12 finding(s)") {
+	if !strings.Contains(stderr, "21 finding(s)") {
 		t.Errorf("stderr %q does not report the finding count", stderr)
 	}
 }
@@ -58,8 +58,8 @@ func TestFixtureJSONOutputIsByteStable(t *testing.T) {
 	if err := json.Unmarshal([]byte(first), &parsed); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v", err)
 	}
-	if len(parsed) != 12 {
-		t.Errorf("parsed %d findings, want 12", len(parsed))
+	if len(parsed) != 21 {
+		t.Errorf("parsed %d findings, want 21", len(parsed))
 	}
 }
 
@@ -163,7 +163,7 @@ func TestFixBaselineDropsStaleEntries(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
 	}
-	if !strings.Contains(stderr, "kept 12 entries, dropped 1 stale") {
+	if !strings.Contains(stderr, "kept 21 entries, dropped 1 stale") {
 		t.Errorf("stderr does not report the prune: %s", stderr)
 	}
 	// The rewritten file must now match the live findings exactly: a
@@ -205,6 +205,94 @@ func TestRealModuleJSONByteIdentical(t *testing.T) {
 	if first != second {
 		t.Errorf("-json output differs between two full-module runs\n--- first ---\n%s--- second ---\n%s", first, second)
 	}
+
+	// The v4 goroutine-lifecycle suite alone must also be clean and
+	// byte-identical across independent passes.
+	code, v4First, stderr := runCLI(t, "-json", "-only", "goleak,chanown,stopflow", "../..")
+	if code != 0 {
+		t.Fatalf("real module not clean under -only goleak,chanown,stopflow: exit %d\n%s\n%s", code, v4First, stderr)
+	}
+	code, v4Second, _ := runCLI(t, "-json", "-only", "goleak,chanown,stopflow", "../..")
+	if code != 0 {
+		t.Fatalf("second -only run: exit %d", code)
+	}
+	if v4First != v4Second {
+		t.Errorf("-only -json output differs between two full-module runs\n--- first ---\n%s--- second ---\n%s", v4First, v4Second)
+	}
+}
+
+func TestOnlyAndSkipFilterFindings(t *testing.T) {
+	code, out, stderr := runCLI(t, "-only", "goleak", fixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("-only goleak: %d findings, want 3:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, " goleak: ") {
+			t.Errorf("-only goleak emitted a foreign finding: %s", l)
+		}
+	}
+
+	code, out, stderr = runCLI(t, "-skip", "goleak", fixture)
+	if code != 1 {
+		t.Fatalf("-skip goleak: exit %d, want 1", code)
+	}
+	if strings.Contains(out, " goleak: ") {
+		t.Errorf("-skip goleak still emitted goleak findings:\n%s", out)
+	}
+	if !strings.Contains(stderr, "18 finding(s)") {
+		t.Errorf("-skip goleak stderr %q, want 18 finding(s)", stderr)
+	}
+}
+
+func TestUnknownAnalyzerNameExits2(t *testing.T) {
+	for _, flagName := range []string{"-only", "-skip"} {
+		code, _, stderr := runCLI(t, flagName, "goleak,nosuch", fixture)
+		if code != 2 {
+			t.Errorf("%s nosuch: exit %d, want 2", flagName, code)
+		}
+		if !strings.Contains(stderr, `unknown analyzer "nosuch"`) || !strings.Contains(stderr, "maporder") {
+			t.Errorf("%s stderr does not list the valid analyzers: %s", flagName, stderr)
+		}
+	}
+}
+
+func TestStatsAreByteStable(t *testing.T) {
+	orig := statsClock
+	defer func() { statsClock = orig }()
+	reset := func() {
+		var tick int64
+		statsClock = func() int64 {
+			tick += 1_000_000
+			return tick
+		}
+	}
+
+	reset()
+	code, _, first := runCLI(t, "-stats", "-only", "goleak,chanown,stopflow", fixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, first)
+	}
+	reset()
+	_, _, second := runCLI(t, "-stats", "-only", "goleak,chanown,stopflow", fixture)
+	if first != second {
+		t.Errorf("-stats output differs under an identical injected clock\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	// One injected tick between the start and end reads: each analyzer
+	// reports exactly 1.000 ms and its golden finding count.
+	for _, want := range []string{
+		"r3dlint: analyzer stats (findings, wall ms):",
+		"goleak           3      1.000",
+		"chanown          3      1.000",
+		"stopflow         3      1.000",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("stats block missing %q:\n%s", want, first)
+		}
+	}
 }
 
 func TestListExitsZero(t *testing.T) {
@@ -212,7 +300,7 @@ func TestListExitsZero(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	for _, name := range []string{"maporder", "globalrand", "wallclock", "floatcmp", "errdrop", "gocapture", "dettaint", "units", "mutexguard", "lockorder", "blockhold"} {
+	for _, name := range []string{"maporder", "globalrand", "wallclock", "floatcmp", "errdrop", "gocapture", "dettaint", "units", "mutexguard", "lockorder", "blockhold", "goleak", "chanown", "stopflow"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %s", name)
 		}

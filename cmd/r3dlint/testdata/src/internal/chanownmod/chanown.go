@@ -1,0 +1,63 @@
+// Package chanownmod seeds three chanown violations — a non-owner
+// close of a parameter, a double close, and a send after close —
+// alongside the sanctioned shapes: the owning type's Close method,
+// an annotated hand-off closer, and a reasoned suppression, so the
+// golden test pins the analyzer's exact output.
+package chanownmod
+
+// Feed owns its updates channel: the constructor allocates it and the
+// Close method retires it.
+type Feed struct {
+	updates chan int
+}
+
+// NewFeed allocates the owned channel.
+func NewFeed() *Feed {
+	return &Feed{updates: make(chan int)}
+}
+
+// Close is the owner's method: clean.
+func (f *Feed) Close() {
+	close(f.updates)
+}
+
+// Hijack closes a channel parameter it does not own.
+func Hijack(ch chan int) {
+	close(ch)
+}
+
+// DoubleClose closes the same channel twice on the !ok path.
+func DoubleClose(ok bool) {
+	done := make(chan struct{})
+	close(done)
+	if !ok {
+		close(done)
+	}
+}
+
+// SendAfterClose sends on a channel it already closed.
+func SendAfterClose() {
+	out := make(chan int, 1)
+	close(out)
+	out <- 1
+}
+
+// Retire is the sanctioned hand-off: producers delegate the close here.
+//
+// r3dlint:closer fixture: producers hand drained batches here to retire
+func Retire(ch chan int) {
+	close(ch)
+}
+
+// Produce allocates, fills, and hands off: clean.
+func Produce() {
+	ch := make(chan int, 4)
+	ch <- 1
+	Retire(ch)
+}
+
+// Sneak documents an ownership transfer the analyzer cannot see.
+func Sneak(ch chan int) {
+	//lint:ignore chanown fixture: ownership transferred by a protocol documented at the call site
+	close(ch)
+}

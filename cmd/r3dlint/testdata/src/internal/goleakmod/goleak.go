@@ -1,0 +1,78 @@
+// Package goleakmod seeds three goleak violations — a named spawn of
+// an endless pump, an endless literal, and a literal ranging over a
+// channel nobody provably closes — alongside the sanctioned shapes:
+// a WaitGroup-joined spawn, a stop-covered loop, and an annotated
+// daemon, so the golden test pins the analyzer's exact output.
+package goleakmod
+
+import "sync"
+
+// Pump loops forever; each spawn of it must be justified.
+func Pump(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// LeakNamed spawns Pump with no join, no stop, and no annotation.
+func LeakNamed(ch chan int) {
+	go Pump(ch)
+}
+
+// LeakLit spawns an endless literal.
+func LeakLit(ch chan int) {
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}
+
+// LeakRange spawns a literal ranging over a channel this package never
+// closes.
+func LeakRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// Joined is the sanctioned WaitGroup shape: Done in the body, Wait in
+// the spawner's scope.
+func Joined(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range ch {
+		}
+	}()
+	wg.Wait()
+}
+
+// Covered spawns a loop that selects on its stop channel and leaves.
+func Covered(ch chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Watch is a documented daemon: the annotation sanctions every spawn.
+//
+// r3dlint:daemon fixture: the heartbeat lives for the whole process by design
+func Watch(ch chan int) {
+	for {
+		ch <- 0
+	}
+}
+
+// StartWatch spawns the annotated daemon: clean.
+func StartWatch(ch chan int) {
+	go Watch(ch)
+}

@@ -1,0 +1,69 @@
+// Package stopflowmod seeds three stopflow violations — a range loop
+// that cannot observe its stop parameter, a select that watches the
+// wrong channel, and a call chain that drops the signal before the
+// blocking loop — alongside the sanctioned shapes: the covered select,
+// the forwarded signal, and a reasoned suppression, so the golden test
+// pins the analyzer's exact output.
+package stopflowmod
+
+// Wait ignores stop entirely: a range loop blocks per iteration and
+// cannot select.
+func Wait(events chan int, stop chan struct{}) int {
+	total := 0
+	for v := range events {
+		total += v
+	}
+	return total
+}
+
+// Relay selects, but never on its stop parameter.
+func Relay(in chan int, stop chan struct{}, aux chan int) {
+	for {
+		select {
+		case v := <-in:
+			_ = v
+		case <-aux:
+		}
+	}
+}
+
+// drain blocks with no stop signal of its own: its callers hold the
+// obligation.
+func drain(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// Forward drops its stop signal before the blocking loop in drain.
+func Forward(ch chan int, stop chan struct{}) {
+	drain(ch)
+}
+
+// Pump is the sanctioned shape: the loop selects on its stop parameter.
+func Pump(in, out chan int, stop <-chan struct{}) {
+	for {
+		select {
+		case v := <-in:
+			out <- v
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Handoff forwards the signal into the stop-aware callee: the argument
+// discharges the obligation for the loop around the call.
+func Handoff(in, out chan int, stop <-chan struct{}) {
+	for i := 0; i < 3; i++ {
+		Pump(in, out, stop)
+	}
+}
+
+// Sip documents a bounded wait the analyzer cannot prove.
+func Sip(ch chan int, stop chan struct{}) {
+	//lint:ignore stopflow fixture: a single bounded receive is this helper's contract
+	for i := 0; i < 1; i++ {
+		<-ch
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -173,6 +174,21 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
+
+	// SIGQUIT dumps every goroutine stack to stderr and keeps serving —
+	// the live-diagnosis hook for a daemon that looks wedged. (Go's
+	// default SIGQUIT behavior dumps and *exits*; installing a handler
+	// replaces it.)
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	// r3dlint:daemon signal handler lives for the whole process; Notify's channel is never closed
+	go func() {
+		for range quitc {
+			if err := pprof.Lookup("goroutine").WriteTo(os.Stderr, 2); err != nil {
+				log.Printf("goroutine dump: %v", err)
+			}
+		}
+	}()
 
 	// First signal: drain — stop admissions, finish in-flight trials,
 	// commit the final checkpoint, close the listener, exit 0. Second

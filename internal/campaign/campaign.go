@@ -550,18 +550,26 @@ func (r *runner) trialWithTimeout(spec TrialSpec) TrialOutcome {
 }
 
 // runTrial runs one trial with the bounded retry policy for hung
-// outcomes.
+// outcomes. The attempt budget is explicit in the loop condition so
+// termination is provable: the abandoned trialWithTimeout goroutine
+// holding this loop runs at most MaxRetries+1 attempts.
 func (r *runner) runTrial(spec TrialSpec) TrialOutcome {
-	for attempt := 1; ; attempt++ {
+	attempts := r.cfg.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var out TrialOutcome
+	for attempt := 1; attempt <= attempts; attempt++ {
 		s := spec
 		s.Config.Seed = spec.Config.Seed + int64(attempt-1)*retrySeedStride
-		out := r.runAttempt(s)
+		out = r.runAttempt(s)
 		out.ID = spec.ID
 		out.Attempts = attempt
-		if out.Status != StatusHung || attempt > r.cfg.MaxRetries {
+		if out.Status != StatusHung {
 			return out
 		}
 	}
+	return out
 }
 
 // runAttempt builds the system and drives the campaign under the

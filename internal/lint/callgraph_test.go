@@ -95,6 +95,70 @@ func Outer() func() int {
 	}
 }
 
+func TestCallGraphGenericInstantiationResolvesToOrigin(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+func Map[T any](xs []T, f func(T) T) []T {
+	out := make([]T, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+func double(n int) int { return n * 2 }
+
+// Use calls the int instantiation; Pin references an explicit
+// instantiation as a value. Both must resolve to the one generic
+// declaration node.
+func Use(xs []int) []int { return Map(xs, double) }
+
+func Pin() func([]int, func(int) int) []int { return Map[int] }
+`}})
+	cg := BuildCallGraph(pkgs)
+	origin := nodeByName(t, cg, "Map").Fn
+	use := nodeByName(t, cg, "Use")
+	found := false
+	for _, r := range use.Refs {
+		if r.Obj.Name() != "Map" {
+			continue
+		}
+		found = true
+		if !r.Call {
+			t.Error("instantiated call Use → Map not marked as a call")
+		}
+		if r.Obj != origin {
+			t.Errorf("instantiated call resolves to %v, want the origin declaration object", r.Obj)
+		}
+	}
+	if !found {
+		t.Fatal("no Use → Map reference recorded")
+	}
+	if found, call := refTo(nodeByName(t, cg, "Pin"), "Map"); !found || call {
+		t.Errorf("explicit instantiation value: found=%v call=%v, want a non-call reference", found, call)
+	}
+}
+
+func TestCallGraphGoStmtFuncLitRefsBelongToSpawner(t *testing.T) {
+	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
+package fixture
+
+func work() int { return 1 }
+
+// Spawn's goroutine body is a function literal: the call it makes must
+// be attributed to Spawn, the enclosing declaration.
+func Spawn(ch chan int) {
+	go func() {
+		ch <- work()
+	}()
+}
+`}})
+	if found, call := refTo(nodeByName(t, BuildCallGraph(pkgs), "Spawn"), "work"); !found || !call {
+		t.Errorf("go-stmt literal call Spawn → work: found=%v call=%v, want a call edge", found, call)
+	}
+}
+
 func TestCallGraphInterfaceDispatchCandidates(t *testing.T) {
 	pkgs := checkModuleFixture(t, []fixtureFile{{modelPath, `
 package fixture

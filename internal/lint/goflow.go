@@ -1,0 +1,852 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the shared infrastructure of the v4 goroutine-lifecycle
+// suite (goleak, chanown, stopflow): it parses the daemon/closer
+// annotations and walks every function body collecting the
+// goroutine-structural facts — loops with their blocking operations and
+// stop-channel select coverage, `go` spawn sites with WaitGroup-join
+// proofs, and call sites — that the analyzers combine with
+// interprocedural propagation, lockflow-style.
+//
+// Annotation grammar (ordinary comments, scanned here, distinct from
+// //lint:ignore suppressions):
+//
+//	// r3dlint:daemon <reason>
+//	    on a function declaration, or on/above a `go` statement: the
+//	    spawned goroutine is an intentional process-lifetime daemon, so
+//	    goleak does not require a termination proof for it.
+//
+//	// r3dlint:closer <reason>
+//	    on a function declaration: the channel's allocating owner hands
+//	    the channel to this function to close, so chanown accepts its
+//	    close of a parameter (or a foreign field) as sanctioned.
+//
+// The termination analysis is deliberately conservative: a `for` with
+// no condition and a `for range` over a channel are both treated as
+// never-terminating unless a select clause inside the loop receives
+// from a stop-like channel and exits the loop (return or labeled
+// break). A conditional `return` buried in an endless loop is not
+// accepted as a termination proof — that is the documented
+// over-approximation that keeps the analysis decidable.
+const (
+	daemonMarker = "r3dlint:daemon"
+	closerMarker = "r3dlint:closer"
+)
+
+// stopLikeName reports whether a channel identifier reads as a
+// stop/done/cancellation/deadline signal. The vocabulary is matched as
+// a case-insensitive substring so `stopCh`, `drainDone` and
+// `campaignAbort` all qualify.
+func stopLikeName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, kw := range []string{
+		"stop", "done", "quit", "cancel", "abort", "drain",
+		"shutdown", "exit", "interrupt", "close", "term", "timeout", "ctx",
+	} {
+		if strings.Contains(lower, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// goBlockOp is one operation that can block indefinitely — until some
+// other goroutine acts — as opposed to a finite wait like a sleep or
+// local file I/O, which completes on its own and which a stop signal
+// cannot shorten.
+type goBlockOp struct {
+	desc string
+	pos  token.Pos
+}
+
+// stopRecv is one select clause receiving from a stop-like channel.
+type stopRecv struct {
+	name string // rendered channel expression, e.g. "stop", "cfg.Stop", "ctx.Done()"
+	// root is the object the channel expression is rooted at (a
+	// parameter, for the stopflow obligation match); field names the
+	// struct field when the channel is reached through one.
+	root       types.Object
+	field      string
+	terminates bool // the clause provably exits the loop (return or labeled break)
+}
+
+// goLoop is one for/range loop with the facts the analyzers need:
+// whether it can run forever, what blocks inside it, which stop
+// channels its selects observe, and which calls it makes.
+type goLoop struct {
+	pos       token.Pos
+	desc      string // "endless for loop", "for loop", "range over channel", "range loop"
+	unbounded bool   // `for` without a condition, or range over a channel
+	blocks    []goBlockOp
+	stops     []stopRecv
+	calls     []*goCall
+}
+
+// covered reports whether the loop has a select clause that receives a
+// stop-like channel and exits the loop.
+func (l *goLoop) covered() bool {
+	for _, s := range l.stops {
+		if s.terminates {
+			return true
+		}
+	}
+	return false
+}
+
+// goCall is one call site recorded for interprocedural propagation.
+type goCall struct {
+	callee     *types.Func
+	candidates []*types.Func // interface-dispatch fallback targets
+	pos        token.Pos
+	kind       callKind
+	// stopArgs records stop-like channel/context arguments passed to
+	// the callee: forwarding a stop source into a blocking callee
+	// discharges the caller's propagation obligation.
+	stopArgs []stopRecv
+}
+
+// goSpawn is one `go` statement.
+type goSpawn struct {
+	pos    token.Pos
+	target *types.Func // named callee (nil when a literal or func value is spawned)
+	lit    *goFacts    // facts node of a spawned function literal
+	name   string      // display name of the spawned body ("" when unresolvable)
+	joined bool        // proved joined: body Done()s a WaitGroup Wait-ed in the spawner's scope
+}
+
+// goFacts is the walker's output for one function body. Function
+// literals get their own facts node; top points at the enclosing
+// top-level declaration (self for declarations), which defines the
+// "spawner's scope" for WaitGroup-join proofs.
+type goFacts struct {
+	fn     *types.Func // nil for function literals
+	sig    *types.Signature
+	pkg    *Package
+	name   string
+	pos    token.Pos
+	isLit  bool
+	top    *goFacts
+	loops  []*goLoop
+	blocks []goBlockOp // every indefinite blocking op, including those inside loops
+	calls  []*goCall   // every call site, including those inside loops
+	spawns []*goSpawn
+	wgDone []string // WaitGroup identities Done'd (incl. deferred)
+	wgWait []string // WaitGroup identities Wait-ed (incl. deferred)
+}
+
+// goAnnErr is a malformed daemon/closer annotation, reported by the
+// check it belongs to.
+type goAnnErr struct {
+	pos   token.Pos
+	check string // "goleak" or "chanown"
+	msg   string
+}
+
+// goProgram is the whole-module fact base shared by the v4 analyzers.
+type goProgram struct {
+	fset       *token.FileSet
+	nodes      []*goFacts // declared functions then literals, position order
+	byFn       map[*types.Func]*goFacts
+	daemonFn   map[*types.Func]string    // r3dlint:daemon on a declaration
+	daemonLine map[string]map[int]string // file → line carrying a daemon marker
+	closerFn   map[*types.Func]string    // r3dlint:closer on a declaration
+	annErrs    []goAnnErr
+}
+
+// daemonAt reports whether a spawn at pos is daemon-annotated at the
+// statement (marker on the `go` line or the line above) or, when a
+// named function is spawned, on its declaration.
+func (p *goProgram) daemonAt(pos token.Pos, target *types.Func) bool {
+	if target != nil {
+		if _, ok := p.daemonFn[target]; ok {
+			return true
+		}
+	}
+	pp := p.fset.Position(pos)
+	lines := p.daemonLine[pp.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pp.Line, pp.Line - 1} {
+		if _, ok := lines[l]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// buildGoProgram collects annotations and walks every function of the
+// module. It is rebuilt per analyzer run (like buildLockProgram),
+// keeping the analyzers independent.
+func buildGoProgram(pkgs []*Package) *goProgram {
+	p := &goProgram{
+		fset:       fsetOf(pkgs),
+		byFn:       map[*types.Func]*goFacts{},
+		daemonFn:   map[*types.Func]string{},
+		daemonLine: map[string]map[int]string{},
+		closerFn:   map[*types.Func]string{},
+	}
+	for _, pkg := range pkgs {
+		p.collectGoAnnotations(pkg)
+	}
+	ir := newIfaceResolver(pkgs)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				facts := &goFacts{fn: obj, pkg: pkg, name: obj.Name(), pos: fd.Pos()}
+				facts.sig, _ = obj.Type().(*types.Signature)
+				facts.top = facts
+				p.nodes = append(p.nodes, facts)
+				p.byFn[obj] = facts
+				w := &goWalker{prog: p, pkg: pkg, ir: ir, facts: facts}
+				w.walkStmt(fd.Body)
+			}
+		}
+	}
+	sort.Slice(p.nodes, func(i, j int) bool { return p.nodes[i].pos < p.nodes[j].pos })
+	p.resolveJoins()
+	return p
+}
+
+// collectGoAnnotations parses the daemon and closer markers of pkg:
+// declaration-doc form into daemonFn/closerFn, free-standing daemon
+// comments by file and line for the statement-adjacent form.
+func (p *goProgram) collectGoAnnotations(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			// Malformed daemon markers are reported by the comment scan
+			// below (a declaration doc is a comment too); only a valid
+			// reason registers the declaration form here.
+			if reason, ok := markerIn(daemonMarker, fd.Doc); ok && fn != nil && reason != "" {
+				p.daemonFn[fn] = reason
+			}
+			if reason, ok := markerIn(closerMarker, fd.Doc); ok && fn != nil {
+				if reason == "" {
+					p.annErrs = append(p.annErrs, goAnnErr{pos: fd.Pos(), check: "chanown",
+						msg: "malformed annotation: want // r3dlint:closer <reason>"})
+				} else {
+					p.closerFn[fn] = reason
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, daemonMarker)
+				if !ok {
+					continue
+				}
+				pos := p.fset.Position(c.Pos())
+				reason := strings.TrimSpace(rest)
+				if reason == "" {
+					p.annErrs = append(p.annErrs, goAnnErr{pos: c.Pos(), check: "goleak",
+						msg: "malformed annotation: want // r3dlint:daemon <reason>"})
+					continue
+				}
+				lines := p.daemonLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]string{}
+					p.daemonLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = reason
+			}
+		}
+	}
+}
+
+// resolveJoins marks spawns whose body Done()s a WaitGroup that some
+// function in the spawner's top-level declaration Wait()s — the "joined
+// in the spawner's scope" termination proof.
+func (p *goProgram) resolveJoins() {
+	waits := map[*goFacts]map[string]bool{}
+	for _, n := range p.nodes {
+		if len(n.wgWait) == 0 {
+			continue
+		}
+		m := waits[n.top]
+		if m == nil {
+			m = map[string]bool{}
+			waits[n.top] = m
+		}
+		for _, k := range n.wgWait {
+			m[k] = true
+		}
+	}
+	for _, n := range p.nodes {
+		for _, sp := range n.spawns {
+			body := sp.lit
+			if body == nil && sp.target != nil {
+				body = p.byFn[sp.target]
+			}
+			if body == nil {
+				continue
+			}
+			for _, k := range body.wgDone {
+				if waits[n.top][k] {
+					sp.joined = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// goWalker collects goFacts over one function body.
+type goWalker struct {
+	prog  *goProgram
+	pkg   *Package
+	ir    *ifaceResolver
+	facts *goFacts
+	loops []*goLoop // innermost last
+	// inSelect suppresses the per-operation channel blockOps of a
+	// select's communication clauses: the select statement itself is the
+	// single blocking point.
+	inSelect bool
+}
+
+func (w *goWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.walkStmt(st)
+		}
+	case *ast.ExprStmt:
+		w.walkExpr(s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.walkExpr(r)
+		}
+		for _, l := range s.Lhs {
+			w.walkExpr(l)
+		}
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.walkExpr(r)
+		}
+	case *ast.IfStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Cond)
+		w.walkStmt(s.Body)
+		w.walkStmt(s.Else)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init)
+		desc := "for loop"
+		if s.Cond == nil {
+			desc = "endless for loop"
+		} else {
+			w.walkExpr(s.Cond)
+		}
+		loop := &goLoop{pos: s.Pos(), desc: desc, unbounded: s.Cond == nil}
+		w.pushLoop(loop)
+		w.walkStmt(s.Body)
+		w.walkStmt(s.Post)
+		w.popLoop()
+	case *ast.RangeStmt:
+		w.walkExpr(s.X)
+		loop := &goLoop{pos: s.Pos(), desc: "range loop"}
+		if tv, ok := w.pkg.Info.Types[s.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				// Range over a channel terminates only when the channel is
+				// closed — unprovable here, so it counts as unbounded, and
+				// each iteration is a blocking receive.
+				loop.desc = "range over channel"
+				loop.unbounded = true
+			}
+		}
+		w.pushLoop(loop)
+		if loop.unbounded {
+			w.block(loop.desc, s.Pos())
+		}
+		w.walkStmt(s.Body)
+		w.popLoop()
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Tag)
+		w.walkStmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkStmt(s.Assign)
+		w.walkStmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.walkExpr(e)
+		}
+		for _, st := range s.Body {
+			w.walkStmt(st)
+		}
+	case *ast.SelectStmt:
+		w.walkSelect(s)
+	case *ast.CommClause:
+		// Reached only via walkSelect, which handles Comm itself.
+		for _, st := range s.Body {
+			w.walkStmt(st)
+		}
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan)
+		w.walkExpr(s.Value)
+		if !w.inSelect {
+			w.block("channel send", s.Pos())
+		}
+	case *ast.GoStmt:
+		w.walkSpawn(s.Call)
+	case *ast.DeferStmt:
+		w.walkCall(s.Call, callDefer)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// Unhandled statement kinds carry no goroutine semantics.
+	}
+}
+
+// walkSelect records the select as one blocking point (unless it has a
+// default clause), extracts the stop-like receive clauses for loop
+// coverage, and walks the clause bodies.
+func (w *goWalker) walkSelect(s *ast.SelectStmt) {
+	hasDefault := false
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		w.block("select without default", s.Pos())
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm != nil {
+			prev := w.inSelect
+			w.inSelect = true
+			w.walkStmt(cc.Comm)
+			w.inSelect = prev
+			if sr, ok := w.stopClause(cc); ok {
+				if n := len(w.loops); n > 0 {
+					l := w.loops[n-1]
+					l.stops = append(l.stops, sr)
+				}
+			}
+		}
+		for _, st := range cc.Body {
+			w.walkStmt(st)
+		}
+	}
+}
+
+// stopClause classifies one select communication clause as a receive
+// from a stop-like channel, and whether its body exits the enclosing
+// loop.
+func (w *goWalker) stopClause(cc *ast.CommClause) (stopRecv, bool) {
+	var recvX ast.Expr
+	switch comm := cc.Comm.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			recvX = u.X
+		}
+	case *ast.AssignStmt:
+		if len(comm.Rhs) == 1 {
+			if u, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recvX = u.X
+			}
+		}
+	}
+	if recvX == nil {
+		return stopRecv{}, false
+	}
+	sr, ok := w.stopChan(recvX)
+	if !ok {
+		return stopRecv{}, false
+	}
+	sr.terminates = clauseExitsLoop(cc.Body)
+	return sr, true
+}
+
+// stopChan resolves a channel expression that reads as a stop signal:
+// a stop-like identifier, a stop-like field selection, or a stop-like
+// method call (ctx.Done()).
+func (w *goWalker) stopChan(x ast.Expr) (stopRecv, bool) {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		if !stopLikeName(x.Name) {
+			return stopRecv{}, false
+		}
+		return stopRecv{name: x.Name, root: w.pkg.Info.Uses[x]}, true
+	case *ast.SelectorExpr:
+		if !stopLikeName(x.Sel.Name) {
+			return stopRecv{}, false
+		}
+		sr := stopRecv{name: exprText(x), field: x.Sel.Name}
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			sr.root = w.pkg.Info.Uses[id]
+		}
+		return sr, true
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && stopLikeName(sel.Sel.Name) {
+			sr := stopRecv{name: exprText(x), field: sel.Sel.Name}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				sr.root = w.pkg.Info.Uses[id]
+			}
+			return sr, true
+		}
+	}
+	return stopRecv{}, false
+}
+
+// clauseExitsLoop reports whether a select clause body provably leaves
+// the enclosing loop: a return, or a labeled break (a plain break would
+// only leave the select). Nested function literals are not searched.
+func clauseExitsLoop(body []ast.Stmt) bool {
+	exits := false
+	for _, st := range body {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.BranchStmt:
+				if n.Tok == token.BREAK && n.Label != nil {
+					exits = true
+				}
+			}
+			return !exits
+		})
+		if exits {
+			return true
+		}
+	}
+	return false
+}
+
+// exprText renders a simple channel expression for messages.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	}
+	return "chan"
+}
+
+func (w *goWalker) walkExpr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X)
+	case *ast.CallExpr:
+		w.walkCall(e, callNormal)
+	case *ast.UnaryExpr:
+		w.walkExpr(e.X)
+		if e.Op == token.ARROW && !w.inSelect {
+			w.block("channel receive", e.Pos())
+		}
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Y)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Index)
+	case *ast.IndexListExpr:
+		w.walkExpr(e.X)
+		for _, i := range e.Indices {
+			w.walkExpr(i)
+		}
+	case *ast.SliceExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Low)
+		w.walkExpr(e.High)
+		w.walkExpr(e.Max)
+	case *ast.StarExpr:
+		w.walkExpr(e.X)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.walkExpr(el)
+		}
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Key)
+		w.walkExpr(e.Value)
+	case *ast.FuncLit:
+		w.walkLit(e)
+	default:
+		// Type expressions and literals: nothing to record.
+	}
+}
+
+// walkLit analyzes a function literal as its own facts node; the
+// spawner-scope pointer (top) stays at the enclosing declaration so
+// WaitGroup joins across the lit boundary still prove.
+func (w *goWalker) walkLit(lit *ast.FuncLit) *goFacts {
+	facts := &goFacts{
+		pkg:   w.pkg,
+		name:  "func literal",
+		pos:   lit.Pos(),
+		isLit: true,
+		top:   w.facts.top,
+	}
+	if w.facts.fn != nil || w.facts.isLit {
+		facts.name = w.facts.name + ".func"
+	}
+	if tv, ok := w.pkg.Info.Types[lit]; ok {
+		facts.sig, _ = tv.Type.(*types.Signature)
+	}
+	w.prog.nodes = append(w.prog.nodes, facts)
+	lw := &goWalker{prog: w.prog, pkg: w.pkg, ir: w.ir, facts: facts}
+	lw.walkStmt(lit.Body)
+	return facts
+}
+
+// walkSpawn records one `go` statement, resolving the spawned body to a
+// literal node or a named module function when possible. Spawns of
+// plain function values are recorded with no body and excused by
+// goleak — the documented precision hole, shared with the call graph.
+func (w *goWalker) walkSpawn(call *ast.CallExpr) {
+	sp := &goSpawn{pos: call.Pos()}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		sp.lit = w.walkLit(lit)
+		sp.name = sp.lit.name
+	} else {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			w.walkExpr(fun.X)
+		case *ast.Ident:
+		default:
+			w.walkExpr(fun)
+		}
+		if fn := calleeFunc(w.pkg.Info, call); fn != nil {
+			fn = fn.Origin()
+			sp.target = fn
+			sp.name = fn.Name()
+		}
+	}
+	for _, a := range call.Args {
+		w.walkExpr(a)
+	}
+	w.facts.spawns = append(w.facts.spawns, sp)
+}
+
+// walkCall classifies one call expression: a WaitGroup operation, an
+// indefinitely blocking stdlib call, or an ordinary call site recorded
+// for interprocedural propagation. The receiver chain and arguments are
+// scanned either way.
+func (w *goWalker) walkCall(call *ast.CallExpr, kind callKind) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := w.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			for _, a := range call.Args {
+				w.walkExpr(a)
+			}
+			return
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		w.walkExpr(fun.X)
+	case *ast.Ident:
+	default:
+		w.walkExpr(fun)
+	}
+	for _, a := range call.Args {
+		w.walkExpr(a)
+	}
+
+	fn := calleeFunc(w.pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	fn = fn.Origin()
+	if key, name, ok := w.waitGroupOp(call, fn); ok {
+		switch name {
+		case "Done":
+			w.facts.wgDone = append(w.facts.wgDone, key)
+		case "Wait":
+			w.facts.wgWait = append(w.facts.wgWait, key)
+		}
+	}
+	if kind == callNormal {
+		if desc, ok := indefiniteCallDesc(fn); ok {
+			w.block(desc, call.Pos())
+			return
+		}
+	}
+	gc := &goCall{callee: fn, pos: call.Pos(), kind: kind}
+	for _, a := range call.Args {
+		if sr, ok := w.stopChan(a); ok {
+			gc.stopArgs = append(gc.stopArgs, sr)
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := w.pkg.Info.Selections[sel]; ok {
+			if _, isIface := s.Recv().Underlying().(*types.Interface); isIface {
+				gc.candidates = w.ir.candidates(fn)
+			}
+		}
+	}
+	w.facts.calls = append(w.facts.calls, gc)
+	if n := len(w.loops); n > 0 {
+		l := w.loops[n-1]
+		l.calls = append(l.calls, gc)
+	}
+}
+
+// waitGroupOp classifies call as sync.WaitGroup Done/Wait on a
+// resolvable identity.
+func (w *goWalker) waitGroupOp(call *ast.CallExpr, fn *types.Func) (key, name string, ok bool) {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := recvNamed(fn)
+	if recv == nil || recv.Obj().Name() != "WaitGroup" {
+		return "", "", false
+	}
+	name = fn.Name()
+	if name != "Done" && name != "Wait" {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	key, ok = w.wgKey(sel.X)
+	if !ok {
+		return "", "", false
+	}
+	return key, name, true
+}
+
+// wgKey canonically names one WaitGroup: locals by declaration
+// position (shared across the literals that capture them), struct
+// fields type-scoped like lockIDs, package vars by path.
+func (w *goWalker) wgKey(x ast.Expr) (string, bool) {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		v, ok := w.pkg.Info.Uses[x].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		v = v.Origin()
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return "pkgvar:" + v.Pkg().Path() + "." + v.Name(), true
+		}
+		return fmt.Sprintf("local:%d", v.Pos()), true
+	case *ast.SelectorExpr:
+		if s, ok := w.pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			t := s.Recv()
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				return "field:" + packagePathOf(named) + "." + named.Obj().Name() + "." + x.Sel.Name, true
+			}
+			return "", false
+		}
+		// Package-qualified var: pkg.WG.
+		if id, isIdent := ast.Unparen(x.X).(*ast.Ident); isIdent {
+			if _, isPkg := w.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := w.pkg.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return "pkgvar:" + v.Pkg().Path() + "." + v.Name(), true
+				}
+			}
+		}
+		return "", false
+	case *ast.StarExpr:
+		return w.wgKey(x.X)
+	}
+	return "", false
+}
+
+func (w *goWalker) pushLoop(l *goLoop) {
+	w.facts.loops = append(w.facts.loops, l)
+	w.loops = append(w.loops, l)
+}
+
+func (w *goWalker) popLoop() {
+	w.loops = w.loops[:len(w.loops)-1]
+}
+
+// block records one indefinitely blocking operation, attributed to the
+// innermost enclosing loop (if any).
+func (w *goWalker) block(desc string, pos token.Pos) {
+	op := goBlockOp{desc: desc, pos: pos}
+	w.facts.blocks = append(w.facts.blocks, op)
+	if n := len(w.loops); n > 0 {
+		l := w.loops[n-1]
+		l.blocks = append(l.blocks, op)
+	}
+}
+
+// indefiniteCallDesc classifies stdlib calls that can block until
+// another goroutine (or a remote peer) acts. Finite waits — sleeps and
+// local file I/O — complete on their own; a stop signal cannot shorten
+// them, so they are excluded from the stop-propagation obligation.
+func indefiniteCallDesc(fn *types.Func) (string, bool) {
+	desc, ok := blockingCallDesc(fn)
+	if !ok {
+		return "", false
+	}
+	if desc == "time.Sleep" || strings.Contains(desc, "file I/O") {
+		return "", false
+	}
+	return desc, true
+}
+
+// goCalleeFacts resolves a call site to the module facts nodes it may
+// reach: the static callee if module-defined, else the conservative
+// interface-dispatch candidates.
+func (p *goProgram) calleeFacts(c *goCall) []*goFacts {
+	if n, ok := p.byFn[c.callee]; ok {
+		return []*goFacts{n}
+	}
+	var out []*goFacts
+	for _, cand := range c.candidates {
+		if n, ok := p.byFn[cand.Origin()]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}

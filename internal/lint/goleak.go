@@ -1,0 +1,99 @@
+package lint
+
+// GoLeak requires every `go` statement to have a provable termination
+// path: the spawned body provably returns (no endless loop reachable
+// through its calls), selects on a stop/done/ctx-like channel and exits
+// the loop on it, or is joined via a WaitGroup that is Wait-ed in the
+// spawner's top-level declaration. Intentional process-lifetime daemons
+// opt in with `// r3dlint:daemon <reason>` on the spawned function's
+// declaration or on the `go` statement itself; a reasoned
+// `//lint:ignore goleak <reason>` on an endless loop stops it from
+// tainting callers, dettaint-style.
+//
+// The termination proof is conservative: a `for` without a condition
+// and a `for range` over a channel count as never-terminating even if a
+// conditional return hides inside — restructure the loop (bounded
+// retries with an explicit cap pass; see campaign.runTrial) or annotate
+// the daemon.
+var GoLeak = &Analyzer{
+	Name:      "goleak",
+	Doc:       "spawned goroutine has no provable termination path",
+	RunModule: runGoLeak,
+}
+
+func runGoLeak(mp *ModulePass) {
+	prog := buildGoProgram(mp.Pkgs)
+	for _, e := range prog.annErrs {
+		if e.check == "goleak" {
+			mp.Reportf(e.pos, "%s", e.msg)
+		}
+	}
+
+	// forever[f] explains why f may never return: the positional-first
+	// chain from f to an uncovered endless loop. Seeds whose loop
+	// carries a reasoned goleak directive are skipped and do not
+	// propagate.
+	forever := map[*goFacts]string{}
+	for _, n := range prog.nodes {
+		for _, l := range n.loops {
+			if !l.unbounded || l.covered() {
+				continue
+			}
+			if mp.SuppressedAt(l.pos, "goleak") {
+				continue
+			}
+			forever[n] = n.name + " → " + l.desc
+			break
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range prog.nodes {
+			if _, ok := forever[n]; ok {
+				continue
+			}
+			for _, c := range n.calls {
+				if c.kind == callGo {
+					continue // a spawned callee blocks on its own goroutine
+				}
+				if mp.SuppressedAt(c.pos, "goleak") {
+					continue
+				}
+				for _, callee := range prog.calleeFacts(c) {
+					if chain, ok := forever[callee]; ok {
+						forever[n] = n.name + " → " + chain
+						changed = true
+						break
+					}
+				}
+				if _, ok := forever[n]; ok {
+					break
+				}
+			}
+		}
+	}
+
+	// Findings at spawn sites: the body may run forever and no excuse
+	// applies — not joined, not daemon-annotated.
+	for _, n := range prog.nodes {
+		for _, sp := range n.spawns {
+			if sp.joined || prog.daemonAt(sp.pos, sp.target) {
+				continue
+			}
+			body := sp.lit
+			if body == nil && sp.target != nil {
+				body = prog.byFn[sp.target]
+			}
+			if body == nil {
+				continue // stdlib or func-value spawn: no module body to prove against
+			}
+			chain, ok := forever[body]
+			if !ok {
+				continue // body provably returns
+			}
+			mp.Reportf(sp.pos,
+				"goroutine may never terminate (%s); join it with a WaitGroup, select on a stop channel in the loop, or annotate the daemon: // r3dlint:daemon <reason>",
+				chain)
+		}
+	}
+}

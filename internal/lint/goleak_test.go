@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGoLeakFlagsUnprovableSpawns(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+func pump(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+func spawnNamed(ch chan int) {
+	go pump(ch)
+}
+
+func spawnLit(ch chan int) {
+	go func() {
+		for {
+			ch <- 2
+		}
+	}()
+}
+
+func spawnRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func spawnIndirect(ch chan int) {
+	go relay(ch)
+}
+
+func relay(ch chan int) {
+	pump(ch)
+}
+
+func joined(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range ch {
+		}
+	}()
+	wg.Wait()
+}
+
+func stopped(ch chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+`
+	got := findings(t, GoLeak, modelPath, src)
+	wantChecks(t, got, "goleak", "goleak", "goleak", "goleak")
+	if !strings.Contains(got[0].Message, "pump → endless for loop") {
+		t.Errorf("named spawn chain missing: %q", got[0].Message)
+	}
+	if !strings.Contains(got[3].Message, "relay → pump → endless for loop") {
+		t.Errorf("indirect spawn chain missing: %q", got[3].Message)
+	}
+}
+
+func TestGoLeakDaemonAnnotations(t *testing.T) {
+	src := `package fixture
+
+// loop is an intentional daemon.
+//
+// r3dlint:daemon declaration-form daemon for the whole process
+func loop(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+func spawnAll(ch chan int) {
+	go loop(ch)
+	// r3dlint:daemon statement-form daemon justified here
+	go func() {
+		for {
+			ch <- 2
+		}
+	}()
+}
+`
+	got := findings(t, GoLeak, modelPath, src)
+	wantChecks(t, got)
+}
+
+func TestGoLeakMalformedDaemonAnnotation(t *testing.T) {
+	src := `package fixture
+
+// r3dlint:daemon
+func loop(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+`
+	got := findings(t, GoLeak, modelPath, src)
+	wantChecks(t, got, "goleak")
+	if !strings.Contains(got[0].Message, "malformed annotation") {
+		t.Errorf("missing malformed-annotation finding: %v", got)
+	}
+}
+
+func TestGoLeakSuppressedLoopStopsPropagation(t *testing.T) {
+	src := `package fixture
+
+func spin(ch chan int) {
+	//lint:ignore goleak fixture: busy loop bounded by external invariant
+	for {
+		ch <- 1
+	}
+}
+
+func spawn(ch chan int) {
+	go spin(ch)
+}
+`
+	got := findings(t, GoLeak, modelPath, src)
+	wantChecks(t, got)
+}
+
+func TestGoLeakSpawnSiteSuppression(t *testing.T) {
+	src := `package fixture
+
+func spin(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+func spawn(ch chan int) {
+	//lint:ignore goleak fixture: spawn justified at the site
+	go spin(ch)
+}
+`
+	got := findings(t, GoLeak, modelPath, src)
+	wantChecks(t, got)
+}
+
+func TestGoLeakFieldWaitGroupNotSpawnerScoped(t *testing.T) {
+	// A WaitGroup Done'd by the body but Wait-ed in a *different*
+	// declaration is not a spawner-scope join: the proof would need the
+	// other method to run, which this analysis cannot see.
+	src := `package fixture
+
+import "sync"
+
+type server struct {
+	wg       sync.WaitGroup
+	dispatch chan int
+}
+
+func (s *server) start() {
+	s.wg.Add(1)
+	go s.worker()
+}
+
+func (s *server) worker() {
+	defer s.wg.Done()
+	for range s.dispatch {
+	}
+}
+
+func (s *server) drain() {
+	s.wg.Wait()
+}
+`
+	got := findings(t, GoLeak, modelPath, src)
+	wantChecks(t, got, "goleak")
+}

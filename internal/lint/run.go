@@ -4,14 +4,23 @@ import "go/token"
 
 // Analyzers returns the full determinism/hygiene suite in a fixed
 // order: the five local checks of v1, the v2 whole-program and
-// concurrency analyzers, then the v3 annotation-driven lock-discipline
-// suite.
+// concurrency analyzers, the v3 annotation-driven lock-discipline
+// suite, then the v4 goroutine-lifecycle suite.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapOrder, GlobalRand, WallClock, FloatCmp, ErrDrop, GoCapture,
 		DetTaint, Units,
 		MutexGuard, LockOrder, BlockHold,
+		GoLeak, ChanOwn, StopFlow,
 	}
+}
+
+// An AnalyzerStat is one analyzer's cost and yield for a run: how long
+// it took and how many findings survived suppression.
+type AnalyzerStat struct {
+	Name     string
+	Findings int
+	WallNS   int64
 }
 
 // Run applies the analyzers to the packages, filters out findings
@@ -26,20 +35,35 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 
 // RunDir is Run with an explicit module root directory.
 func RunDir(dir string, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := RunDirStats(dir, pkgs, analyzers, nil)
+	return findings
+}
+
+// RunDirStats is RunDir, additionally returning per-analyzer statistics
+// in the order the analyzers were given. Wall time is measured with the
+// injected monotonic clock (nanoseconds); a nil clock records zero
+// durations, so the findings path pays nothing for the plumbing.
+func RunDirStats(dir string, pkgs []*Package, analyzers []*Analyzer, clock func() int64) ([]Finding, []AnalyzerStat) {
 	ignores, findings := collectIgnores(fsetOf(pkgs), pkgs)
 	report := func(f Finding) {
 		if !ignores.suppressed(f) {
 			findings = append(findings, f)
 		}
 	}
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	wall := map[string]int64{}
 	for _, a := range analyzers {
 		if a.Run == nil {
 			continue
 		}
+		start := clock()
 		for _, pkg := range pkgs {
 			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, report: report}
 			a.Run(pass)
 		}
+		wall[a.Name] += clock() - start
 	}
 	for _, a := range analyzers {
 		if a.RunModule == nil {
@@ -53,7 +77,9 @@ func RunDir(dir string, pkgs []*Package, analyzers []*Analyzer) []Finding {
 			ignores:  ignores,
 			report:   report,
 		}
+		start := clock()
 		a.RunModule(mp)
+		wall[a.Name] += clock() - start
 	}
 
 	ran := map[string]bool{}
@@ -66,7 +92,16 @@ func RunDir(dir string, pkgs []*Package, analyzers []*Analyzer) []Finding {
 	}
 	findings = append(findings, ignores.stale(ran, registered)...)
 	sortFindings(findings)
-	return findings
+
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Check]++
+	}
+	stats := make([]AnalyzerStat, 0, len(analyzers))
+	for _, a := range analyzers {
+		stats = append(stats, AnalyzerStat{Name: a.Name, Findings: counts[a.Name], WallNS: wall[a.Name]})
+	}
+	return findings, stats
 }
 
 // fsetOf returns the packages' shared FileSet (every loader and fixture

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStopFlowUncoveredLoops(t *testing.T) {
+	src := `package fixture
+
+// wait ignores its stop channel entirely: the range blocks per
+// iteration and a range loop cannot select.
+func wait(events chan int, stop chan struct{}) int {
+	total := 0
+	for v := range events {
+		total += v
+	}
+	return total
+}
+
+// pump is the sanctioned shape: the loop selects on its stop parameter.
+func pump(in, out chan int, stop <-chan struct{}) {
+	for {
+		select {
+		case v := <-in:
+			out <- v
+		case <-stop:
+			return
+		}
+	}
+}
+
+// relay selects, but never on its stop parameter.
+func relay(in chan int, stop chan struct{}, aux chan int) {
+	for {
+		select {
+		case v := <-in:
+			_ = v
+		case <-aux:
+		}
+	}
+}
+
+// ticker blocks on a bare receive in the loop with no select at all.
+func ticker(ch chan int, done chan struct{}) {
+	for {
+		<-ch
+	}
+}
+`
+	got := findings(t, StopFlow, modelPath, src)
+	wantChecks(t, got, "stopflow", "stopflow", "stopflow")
+	if !strings.Contains(got[0].Message, "never selects on stop") {
+		t.Errorf("range loop message: %q", got[0].Message)
+	}
+	if !strings.Contains(got[1].Message, "never selects on stop") {
+		t.Errorf("relay message: %q", got[1].Message)
+	}
+	if !strings.Contains(got[2].Message, "never selects on done") {
+		t.Errorf("ticker message: %q", got[2].Message)
+	}
+}
+
+func TestStopFlowInterproceduralReach(t *testing.T) {
+	src := `package fixture
+
+// drain blocks in a loop and receives no stop signal of its own.
+func drain(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// forward holds the stop obligation but drops it before the blocking
+// loop in drain.
+func forward(ch chan int, stop <-chan struct{}) {
+	drain(ch)
+}
+
+// hop is a stopless intermediate: the obligation travels through it.
+func hop(ch chan int) {
+	drain(ch)
+}
+
+func forwardFar(ch chan int, stop <-chan struct{}) {
+	hop(ch)
+}
+`
+	got := findings(t, StopFlow, modelPath, src)
+	wantChecks(t, got, "stopflow", "stopflow")
+	if !strings.Contains(got[0].Message, "drain → endless for loop") {
+		t.Errorf("direct chain missing: %q", got[0].Message)
+	}
+	if !strings.Contains(got[1].Message, "hop → drain → endless for loop") {
+		t.Errorf("transitive chain missing: %q", got[1].Message)
+	}
+}
+
+func TestStopFlowStructFieldAndContext(t *testing.T) {
+	src := `package fixture
+
+import "context"
+
+type config struct {
+	Stop    <-chan struct{}
+	Workers int
+}
+
+// dispatch observes cfg.Stop in its select: clean.
+func dispatch(jobs chan int, cfg config) {
+	for {
+		select {
+		case jobs <- 1:
+		case <-cfg.Stop:
+			return
+		}
+	}
+}
+
+// spin ignores cfg.Stop.
+func spin(jobs chan int, cfg config) {
+	for {
+		jobs <- 1
+	}
+}
+
+// follow observes ctx.Done(): clean.
+func follow(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// defy ignores its context.
+func defy(ctx context.Context, ch chan int) {
+	for {
+		<-ch
+	}
+}
+`
+	got := findings(t, StopFlow, modelPath, src)
+	wantChecks(t, got, "stopflow", "stopflow")
+	if !strings.Contains(got[0].Message, "cfg.Stop") {
+		t.Errorf("struct-field message: %q", got[0].Message)
+	}
+	if !strings.Contains(got[1].Message, "ctx.Done()") {
+		t.Errorf("context message: %q", got[1].Message)
+	}
+}
+
+func TestStopFlowSuppression(t *testing.T) {
+	src := `package fixture
+
+// sip reads exactly one event per call; the bounded wait is the point.
+func sip(ch chan int, stop chan struct{}) {
+	//lint:ignore stopflow fixture: single bounded receive is this helper's contract
+	for i := 0; i < 1; i++ {
+		<-ch
+	}
+}
+
+// onceThrough suppresses the call edge instead of the loop.
+func slowJoin(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+func hold(ch chan int, stop chan struct{}) {
+	//lint:ignore stopflow fixture: join completes by protocol before stop can fire
+	slowJoin(ch)
+}
+`
+	got := findings(t, StopFlow, modelPath, src)
+	wantChecks(t, got)
+}

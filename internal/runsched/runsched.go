@@ -239,6 +239,8 @@ func (e *Engine[K, V]) Get(k K) (V, error) {
 
 // run evaluates compute for k into c and releases joiners. The memo
 // commit happens separately so batches can commit in key order.
+//
+// r3dlint:closer the inflight table hands each call here for its single completion close
 func (e *Engine[K, V]) run(k K, c *call[V]) {
 	start := e.now()
 	c.val, c.err = e.compute(k)
@@ -490,8 +492,19 @@ dispatch:
 	}
 	e.mu.Unlock()
 
+	// Joined calls are owned by other batches; wait for them under the
+	// same stop signals as dispatch. Abandoning a join on stop is safe —
+	// the owning batch still commits or releases it — but we must not
+	// read its err without the close(done) happened-before, so return
+	// immediately instead of falling through to the error tail.
 	for _, c := range joins {
-		<-c.done
+		select {
+		case <-c.done:
+		case <-e.stop:
+			return ErrInterrupted
+		case <-stop:
+			return ErrInterrupted
+		}
 	}
 
 	// First error in canonical key order, from whichever path produced

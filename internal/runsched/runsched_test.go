@@ -486,3 +486,37 @@ func TestPrefetchUntilCancelsOneBatchOnly(t *testing.T) {
 		t.Errorf("entries after follow-up batch = %d, want %d", got, keys)
 	}
 }
+
+// TestPrefetchUntilStopUnblocksJoinWait: a batch joining a key another
+// caller is computing must not wait out that computation once its stop
+// fires — the join drain observes the same stop signals as dispatch.
+func TestPrefetchUntilStopUnblocksJoinWait(t *testing.T) {
+	started := make(chan int, 1)
+	release := make(chan struct{})
+	e := intEngine(1, func(k int) (string, error) {
+		started <- k
+		<-release
+		return fmt.Sprintf("v%d", k), nil
+	})
+	getDone := make(chan struct{})
+	go func() { defer close(getDone); _, _ = e.Get(7) }()
+	<-started // the Get owns key 7's inflight call
+
+	// The batch has no work of its own — key 7 is inflight, so it joins
+	// and parks in the drain. Fire stop instead of releasing the owner.
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- e.PrefetchUntil([]int{7}, stop) }()
+	close(stop)
+	if err := <-done; !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("stopped join wait returned %v, want ErrInterrupted", err)
+	}
+
+	// The abandoned join did not disturb the owner: the Get completes
+	// and commits normally.
+	close(release)
+	<-getDone
+	if v, err := e.Get(7); err != nil || v != "v7" {
+		t.Errorf("Get(7) after the stopped join = %q, %v", v, err)
+	}
+}

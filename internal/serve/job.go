@@ -126,6 +126,8 @@ func newJob(id string, sub Submission, quality string, deadlineNS int64) *Job {
 }
 
 // restoredJob reconstructs a terminal job from the persisted store.
+//
+// r3dlint:closer restored jobs are born terminal — the constructor hands the fresh doneCh straight to its one close
 func restoredJob(rec storedJob) *Job {
 	j := newJob(rec.ID, Submission{Kind: rec.Kind, Experiment: rec.Experiment, Grid: rec.Grid}, rec.Quality, 0)
 	j.Restored = true

@@ -456,6 +456,8 @@ func (s *Server) JobByID(id string) (*Job, bool) {
 }
 
 // worker executes dispatched jobs until the dispatch channel closes.
+//
+// r3dlint:daemon lives until Shutdown closes dispatch; joined through the s.wg field, which spawner-scoped join proofs cannot see
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for id := range s.dispatch {
@@ -610,6 +612,8 @@ func (s *Server) pokePersist() {
 
 // persister is the single goroutine that owns all checkpoint I/O, so no
 // lock is ever held across a file write.
+//
+// r3dlint:daemon lives until Shutdown closes persistCh; joined through the s.persistWG field, which spawner-scoped join proofs cannot see
 func (s *Server) persister() {
 	defer s.persistWG.Done()
 	for range s.persistCh {
