@@ -4,14 +4,14 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-strict lint-json lint-stats race race-engine fmt campaign-smoke bench-fast bench-thermal crash-test serve-smoke
+.PHONY: all build test lint lint-strict lint-json lint-stats race race-engine fmt campaign-smoke bench-fast bench-thermal crash-test serve-smoke chaos-test
 
 all: build lint test
 
 build:
 	$(GO) build ./...
 
-test: crash-test serve-smoke
+test: crash-test serve-smoke chaos-test
 	$(GO) test ./...
 
 # gofmt -l prints offending files but always exits 0; fail if it
@@ -62,6 +62,7 @@ race-engine:
 	$(GO) test -race -count=1 -run 'Concurrent|WorkerCount|Race' ./internal/experiment/
 	$(GO) test -race -count=1 -run 'Solve|Precondition|SetPower|Clone' ./internal/thermal/
 	$(GO) test -race -count=1 ./internal/runsched/ ./internal/campaign/ ./internal/ckpt/ ./internal/serve/
+	$(GO) test -race -count=1 ./internal/iofault/ ./internal/backoff/ ./internal/chaos/
 
 # Thermal solver microbenchmarks: one cold fine-grid solve, a warm
 # re-solve from an already-converged field, and the production path
@@ -123,6 +124,15 @@ serve-smoke:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/r3dserve" ./cmd/r3dserve || exit 1; \
 	$(GO) run ./cmd/r3dservesmoke -daemon "$$tmp/r3dserve"
+
+# Storage-fault chaos sweep (part of `make test`): 20 seeded fault
+# schedules through every scenario — campaign run→kill→resume, serve
+# submit→kill→restore, dead-device degraded serving, and a same-seed
+# determinism cross-check. Any torn state, diverging aggregate,
+# poisoned cache or unreproducible fault sequence fails the target with
+# the fault log needed to replay it.
+chaos-test:
+	$(GO) run ./cmd/r3dchaos -seeds 20
 
 # Engine smoke: the fast suite rendered serially and across $(nproc)
 # workers must be byte-identical on stdout; the parallel run prints its

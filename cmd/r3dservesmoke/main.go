@@ -33,12 +33,38 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"r3d/internal/backoff"
 )
 
 var (
 	daemonBin = flag.String("daemon", "", "path to the r3dserve binary under test")
 	keepState = flag.Bool("keep-state", false, "keep the temp state directory for inspection")
 )
+
+// Polling goes through internal/backoff instead of fixed-cadence sleep
+// loops: capped exponential delays with deterministic jitter, a bounded
+// attempt budget instead of a wall-clock deadline, and transient
+// (retry) vs permanent (fail now) classification — a daemon that is
+// still starting gets patience, one that already exited does not.
+var (
+	portPoll    = backoff.Policy{Attempts: 120, BaseNS: 5_000_000, CapNS: 250_000_000, Seed: 1}
+	donePoll    = backoff.Policy{Attempts: 90, BaseNS: 5_000_000, CapNS: 250_000_000, Seed: 2}
+	persistPoll = backoff.Policy{Attempts: 60, BaseNS: 10_000_000, CapNS: 500_000_000, Seed: 3}
+)
+
+// sleeper adapts time.Sleep to the backoff layer.
+func sleeper(ns int64) { time.Sleep(time.Duration(ns)) }
+
+// transientErr marks a poll miss as retryable for backoff.Retry.
+type transientErr struct{ err error }
+
+func (e transientErr) Error() string   { return e.err.Error() }
+func (e transientErr) Transient() bool { return true }
+
+func transientf(format string, args ...any) error {
+	return transientErr{err: fmt.Errorf(format, args...)}
+}
 
 // submission mirrors serve.Submission for the two grids under test.
 // Grid bodies are raw JSON so the smoke test stays an honest external
@@ -96,20 +122,22 @@ func startDaemon(stateDir string, restore bool) (*daemon, error) {
 	if err := d.cmd.Start(); err != nil {
 		return nil, fmt.Errorf("start daemon: %w", err)
 	}
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
+	err := backoff.Retry(portPoll, sleeper, func() error {
 		if addr, err := os.ReadFile(portFile); err == nil && len(addr) > 0 {
 			d.base = "http://" + string(bytes.TrimSpace(addr))
-			return d, nil
+			return nil
 		}
 		if d.cmd.ProcessState != nil {
-			break
+			return fmt.Errorf("daemon exited before publishing its port")
 		}
-		time.Sleep(20 * time.Millisecond)
+		return transientf("portfile %s not yet published", portFile)
+	})
+	if err == nil {
+		return d, nil
 	}
 	_ = d.cmd.Process.Kill()
 	_ = d.cmd.Wait()
-	return nil, fmt.Errorf("daemon never published its port\n--- daemon log ---\n%s", d.logs)
+	return nil, fmt.Errorf("daemon never published its port: %v\n--- daemon log ---\n%s", err, d.logs)
 }
 
 func (d *daemon) fail(format string, args ...any) error {
@@ -135,32 +163,38 @@ func (d *daemon) submit(body string) (submitResult, error) {
 	return res, nil
 }
 
-// waitDone long-polls a job until it reaches "done" (or fails).
+// waitDone long-polls a job until it reaches "done" (or fails). The
+// poll budget is bounded attempts, not wall time; a dropped connection
+// is transient (the daemon may be mid-GC or the listener backlogged),
+// while a terminal job state or an undecodable reply fails immediately.
 func (d *daemon) waitDone(id string) error {
 	version := int64(0)
-	deadline := time.Now().Add(90 * time.Second)
-	for time.Now().Before(deadline) {
+	err := backoff.Retry(donePoll, sleeper, func() error {
 		url := fmt.Sprintf("%s/api/v1/jobs/%s?wait_ms=2000&version=%d", d.base, id, version)
 		resp, err := http.Get(url)
 		if err != nil {
-			return d.fail("poll %s: %v", id, err)
+			return transientf("poll %s: %v", id, err)
 		}
 		var res submitResult
 		err = json.NewDecoder(resp.Body).Decode(&res.Job)
 		//lint:ignore errdrop response already fully read; close failure loses nothing
 		resp.Body.Close()
 		if err != nil {
-			return d.fail("poll %s: decode: %v", id, err)
+			return fmt.Errorf("poll %s: decode: %v", id, err)
 		}
 		switch res.Job.State {
 		case "done":
 			return nil
 		case "failed", "expired", "canceled":
-			return d.fail("job %s ended %s: %s", id, res.Job.State, res.Job.Error)
+			return fmt.Errorf("job %s ended %s: %s", id, res.Job.State, res.Job.Error)
 		}
 		version = res.Job.Version
+		return transientf("job %s still %s", id, res.Job.State)
+	})
+	if err != nil {
+		return d.fail("job %s never completed: %v", id, err)
 	}
-	return d.fail("job %s never completed", id)
+	return nil
 }
 
 // result fetches the completed result bytes.
@@ -208,14 +242,16 @@ func (d *daemon) sigkill() {
 // job ID, so the SIGKILL provably lands after the checkpoint commit.
 func waitJobPersisted(stateDir, id string) error {
 	store := filepath.Join(stateDir, "state", "jobs.ckpt")
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
+	err := backoff.Retry(persistPoll, sleeper, func() error {
 		if raw, err := os.ReadFile(store); err == nil && bytes.Contains(raw, []byte(id)) {
 			return nil
 		}
-		time.Sleep(20 * time.Millisecond)
+		return transientf("job not yet in the store")
+	})
+	if err != nil {
+		return fmt.Errorf("job %s never reached the job store %s: %v", id, store, err)
 	}
-	return fmt.Errorf("job %s never reached the job store %s", id, store)
+	return nil
 }
 
 func run() error {

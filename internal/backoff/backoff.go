@@ -1,0 +1,124 @@
+// Package backoff is the retry layer between the durable writers
+// (checkpoints, journals, the daemon persister) and the storage-fault
+// taxonomy in internal/iofault. It retries transient faults with capped
+// exponential backoff and deterministic jitter, and refuses to retry
+// permanent ones — mirroring the paper's transient/permanent fault
+// split: a transient upset is re-executed, a permanent fault must be
+// surfaced so the layer above can degrade.
+//
+// Determinism contract: Delay derives jitter from the policy seed and
+// the attempt number alone (an FNV hash, no shared rng state), so two
+// same-seeded runs back off identically and the chaos harness's
+// byte-identical replay guarantee extends through the retry layer.
+package backoff
+
+import (
+	"errors"
+	"hash/fnv"
+	"syscall"
+)
+
+// Policy is one capped-exponential retry policy. The zero value is
+// usable: it means "one attempt, no retries", so callers that plumb an
+// optional policy through get fail-fast semantics by default.
+type Policy struct {
+	// Attempts is the total number of tries (first try included).
+	// Values < 1 mean 1.
+	Attempts int
+	// BaseNS is the pre-jitter delay before the first retry; each
+	// further retry doubles it, capped at CapNS. 0 means no waiting
+	// (retry immediately), which is what tests and in-process chaos
+	// runs use.
+	BaseNS int64
+	// CapNS bounds the exponential growth. 0 means uncapped.
+	CapNS int64
+	// Seed drives the deterministic jitter. Two policies with the same
+	// Seed produce identical delay sequences.
+	Seed int64
+}
+
+// Delay returns the nanoseconds to wait before retry number attempt
+// (attempt 0 is the delay after the first failure). The delay is
+// "equal jitter": half deterministic exponential, half seeded hash —
+// bounded below by BaseNS/2 so a retry never fires immediately once a
+// base delay is configured, and bounded above by CapNS.
+func (p Policy) Delay(attempt int) int64 {
+	if p.BaseNS <= 0 {
+		return 0
+	}
+	d := p.BaseNS
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if p.CapNS > 0 && d >= p.CapNS {
+			d = p.CapNS
+			break
+		}
+		if d < 0 { // overflow guard
+			d = p.CapNS
+			if d == 0 {
+				d = int64(1) << 62
+			}
+			break
+		}
+	}
+	half := d / 2
+	h := fnv.New64a()
+	var buf [16]byte
+	put64 := func(off int, v int64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(uint64(v) >> (8 * uint(i)))
+		}
+	}
+	put64(0, p.Seed)
+	put64(8, int64(attempt))
+	_, _ = h.Write(buf[:])
+	jitter := int64(h.Sum64() % uint64(half+1))
+	return half + jitter
+}
+
+// Transient reports whether err should be retried. The iofault error
+// taxonomy classifies itself via the Transient() method; OS-level
+// errors are classified by errno: out-of-space, interrupted and
+// would-block conditions clear with time, anything else (including
+// unknown errors) is treated as permanent so retry loops never spin on
+// undiagnosed failures.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	for _, errno := range []syscall.Errno{syscall.ENOSPC, syscall.EINTR, syscall.EAGAIN} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// Retry runs op up to p.Attempts times, sleeping p.Delay between
+// attempts via sleep (nil = no waiting; model code passes nil or an
+// injected sleeper, CLIs pass a time.Sleep adapter). It stops early on
+// success or on the first non-transient error, and returns the last
+// error observed.
+func Retry(p Policy, sleep func(ns int64), op func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if d := p.Delay(i - 1); d > 0 && sleep != nil {
+				sleep(d)
+			}
+		}
+		err = op()
+		if err == nil || !Transient(err) {
+			return err
+		}
+	}
+	return err
+}

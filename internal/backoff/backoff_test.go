@@ -1,0 +1,133 @@
+package backoff
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"r3d/internal/iofault"
+)
+
+func TestDelayDeterministicAndCapped(t *testing.T) {
+	p := Policy{Attempts: 8, BaseNS: 1000, CapNS: 8000, Seed: 7}
+	q := Policy{Attempts: 8, BaseNS: 1000, CapNS: 8000, Seed: 7}
+	prevCap := int64(0)
+	for i := 0; i < 8; i++ {
+		a, b := p.Delay(i), q.Delay(i)
+		if a != b {
+			t.Fatalf("attempt %d: same-seed delays diverge: %d vs %d", i, a, b)
+		}
+		if a < 500 { // half of base
+			t.Fatalf("attempt %d: delay %d below base/2", i, a)
+		}
+		if a > 8000 {
+			t.Fatalf("attempt %d: delay %d above cap", i, a)
+		}
+		_ = prevCap
+	}
+	r := Policy{Attempts: 8, BaseNS: 1000, CapNS: 8000, Seed: 8}
+	diverged := false
+	for i := 0; i < 8; i++ {
+		if r.Delay(i) != p.Delay(i) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical jitter everywhere")
+	}
+}
+
+func TestDelayZeroBaseMeansNoWait(t *testing.T) {
+	p := Policy{Attempts: 3}
+	for i := 0; i < 3; i++ {
+		if d := p.Delay(i); d != 0 {
+			t.Fatalf("zero-base delay = %d, want 0", d)
+		}
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&iofault.Error{Kind: iofault.KindWriteErr, Class: iofault.ClassTransient}, true},
+		{&iofault.Error{Kind: iofault.KindCrash, Class: iofault.ClassPermanent}, false},
+		{fmt.Errorf("wrap: %w", &iofault.Error{Class: iofault.ClassTransient}), true},
+		{syscall.ENOSPC, true},
+		{fmt.Errorf("write: %w", syscall.ENOSPC), true},
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+		{syscall.EIO, false},
+		{errors.New("mystery"), false},
+	}
+	for i, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("case %d (%v): Transient = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryStopsOnSuccess(t *testing.T) {
+	calls := 0
+	err := Retry(Policy{Attempts: 5}, nil, func() error {
+		calls++
+		if calls < 3 {
+			return &iofault.Error{Class: iofault.ClassTransient}
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil/3", err, calls)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	calls := 0
+	perm := &iofault.Error{Class: iofault.ClassPermanent}
+	err := Retry(Policy{Attempts: 5}, nil, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want permanent after 1 call", err, calls)
+	}
+}
+
+func TestRetryExhaustsTransient(t *testing.T) {
+	calls := 0
+	err := Retry(Policy{Attempts: 4}, nil, func() error {
+		calls++
+		return &iofault.Error{Class: iofault.ClassTransient}
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("err=%v calls=%d, want exhausted after 4", err, calls)
+	}
+}
+
+func TestRetrySleepsBetweenAttempts(t *testing.T) {
+	var slept []int64
+	p := Policy{Attempts: 3, BaseNS: 100, CapNS: 1000, Seed: 1}
+	_ = Retry(p, func(ns int64) { slept = append(slept, ns) }, func() error {
+		return &iofault.Error{Class: iofault.ClassTransient}
+	})
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	if slept[0] != p.Delay(0) || slept[1] != p.Delay(1) {
+		t.Fatalf("slept %v, want [%d %d]", slept, p.Delay(0), p.Delay(1))
+	}
+}
+
+func TestRetryZeroPolicyIsFailFast(t *testing.T) {
+	calls := 0
+	_ = Retry(Policy{}, nil, func() error {
+		calls++
+		return &iofault.Error{Class: iofault.ClassTransient}
+	})
+	if calls != 1 {
+		t.Fatalf("zero policy made %d calls, want 1", calls)
+	}
+}

@@ -46,9 +46,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"r3d/internal/backoff"
 	"r3d/internal/core"
 	"r3d/internal/detmap"
 	"r3d/internal/fault"
+	"r3d/internal/iofault"
 	"r3d/internal/nuca"
 	"r3d/internal/ooo"
 	"r3d/internal/trace"
@@ -227,6 +229,10 @@ type Config struct {
 	// harness locks held; it must be cheap and concurrency-safe. Progress
 	// reporting is its intended use — it cannot alter outcomes.
 	OnOutcome func(TrialOutcome)
+	// FS is the filesystem every durable artifact (journal, checkpoints)
+	// goes through. nil selects the real filesystem; the chaos harness
+	// injects a seeded fault lattice here.
+	FS iofault.FS
 	// StallTimeout is a host-clock last resort against harness bugs: a
 	// trial goroutine that produces no outcome within this wall time is
 	// abandoned and reported hung with ReasonWallClock. It is off (0)
@@ -285,6 +291,10 @@ func Run(cfg Config, specs []TrialSpec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = iofault.OS()
+	}
 
 	// Restore order matters: the snapshot supplies the bulk of the
 	// state plus the journal offset it covers; the journal then replays
@@ -295,7 +305,7 @@ func Run(cfg Config, specs []TrialSpec) (*Report, error) {
 	completed := map[string]TrialOutcome{}
 	var snapOffset int64
 	if cfg.Restore && cfg.CheckpointPath != "" {
-		snap, snapNotes, err := readCheckpoint(cfg.CheckpointPath, fp)
+		snap, snapNotes, err := readCheckpoint(fsys, cfg.CheckpointPath, fp)
 		notes = append(notes, snapNotes...)
 		if err != nil {
 			return nil, err
@@ -312,7 +322,7 @@ func Run(cfg Config, specs []TrialSpec) (*Report, error) {
 	if cfg.JournalPath != "" {
 		var fromJournal []TrialOutcome
 		var jnotes []string
-		jr, fromJournal, jnotes, err = openJournal(cfg.JournalPath, fp, cfg.Resume || cfg.Restore, snapOffset)
+		jr, fromJournal, jnotes, err = openJournal(fsys, cfg.JournalPath, fp, cfg.Resume || cfg.Restore, snapOffset)
 		notes = append(notes, jnotes...)
 		if err != nil {
 			return nil, err
@@ -337,6 +347,7 @@ func Run(cfg Config, specs []TrialSpec) (*Report, error) {
 	}
 
 	st := &commitState{
+		fsys:     fsys,
 		jr:       jr,
 		path:     cfg.CheckpointPath,
 		fp:       fp,
@@ -485,6 +496,7 @@ func (r *runner) shadowCheck(spec TrialSpec, stored TrialOutcome) (ShadowDiverge
 // journal prefix its offset names).
 type commitState struct {
 	mu    sync.Mutex
+	fsys  iofault.FS // immutable after Run wires it
 	jr    *journal
 	path  string // checkpoint path ("" disables snapshots)
 	fp    string
@@ -512,9 +524,16 @@ func (st *commitState) commit(out TrialOutcome) {
 	}
 }
 
-// snapshotLocked commits one checkpoint of the current aggregate state.
-// Snapshot failures degrade to notes — the journal alone still restores
-// the campaign, just with a longer replay.
+// checkpointRetry bounds the in-line retry of one snapshot commit
+// against transient storage faults. No sleeping: the commit path is
+// already off the trial hot path, and a fault that outlasts the budget
+// degrades to a note (the journal still restores the campaign).
+var checkpointRetry = backoff.Policy{Attempts: 3}
+
+// snapshotLocked commits one checkpoint of the current aggregate state,
+// retrying transient storage faults. Snapshot failures degrade to notes
+// — the journal alone still restores the campaign, just with a longer
+// replay.
 func (st *commitState) snapshotLocked() {
 	var off int64
 	if st.jr != nil {
@@ -524,7 +543,10 @@ func (st *commitState) snapshotLocked() {
 	for _, id := range detmap.SortedKeys(st.outcomes) {
 		outs = append(outs, st.outcomes[id])
 	}
-	if err := writeCheckpoint(st.path, st.fp, outs, off); err != nil {
+	err := backoff.Retry(checkpointRetry, nil, func() error {
+		return writeCheckpoint(st.fsys, st.path, st.fp, outs, off)
+	})
+	if err != nil {
 		st.notes = append(st.notes, "campaign: checkpoint: "+err.Error())
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"r3d/internal/ckpt"
+	"r3d/internal/iofault"
 )
 
 // Checkpoints snapshot the campaign's aggregate state — every completed
@@ -38,7 +39,7 @@ type snapshotState struct {
 // writeCheckpoint commits one snapshot of the aggregate state. outcomes
 // may arrive in any order; they are ID-sorted so the snapshot bytes are
 // a pure function of the state.
-func writeCheckpoint(path, fingerprint string, outcomes []TrialOutcome, journalBytes int64) error {
+func writeCheckpoint(fsys iofault.FS, path, fingerprint string, outcomes []TrialOutcome, journalBytes int64) error {
 	sorted := make([]TrialOutcome, len(outcomes))
 	copy(sorted, outcomes)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
@@ -52,15 +53,15 @@ func writeCheckpoint(path, fingerprint string, outcomes []TrialOutcome, journalB
 			return err
 		}
 	}
-	return w.Commit(path)
+	return w.CommitTo(fsys, path)
 }
 
 // readCheckpoint loads the latest good snapshot at path. Recoverable
 // failures — no snapshot yet, or corruption with no good predecessor —
 // degrade to a journal-only restore and are reported in notes; an
 // intact snapshot for the wrong grid or build is a hard error.
-func readCheckpoint(path, fingerprint string) (*snapshotState, []string, error) {
-	snap, note, err := ckpt.LoadLatest(path, ckpt.Meta{Kind: checkpointKind, Fingerprint: fingerprint})
+func readCheckpoint(fsys iofault.FS, path, fingerprint string) (*snapshotState, []string, error) {
+	snap, note, err := ckpt.LoadLatestFrom(fsys, path, ckpt.Meta{Kind: checkpointKind, Fingerprint: fingerprint})
 	var notes []string
 	if note != "" {
 		notes = append(notes, note)

@@ -9,6 +9,9 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"r3d/internal/backoff"
+	"r3d/internal/iofault"
 )
 
 // The journal is an append-only JSONL file: a header line identifying
@@ -70,11 +73,19 @@ func gridFingerprint(specs []TrialSpec) (string, error) {
 	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
+// journalRetry bounds the in-line retry of one journal append against
+// transient storage faults. No sleeping: trials keep completing while
+// the append retries, and a chaos schedule that outlasts three
+// attempts is modelling a dead device, which must stick as an error.
+var journalRetry = backoff.Policy{Attempts: 3}
+
 type journal struct {
 	mu sync.Mutex
-	f  *os.File // handle is immutable after openJournal; writes serialize on mu
+	f  iofault.File // handle is immutable after openJournal; writes serialize on mu
 	// r3dlint:guardedby mu
 	n int64 // bytes committed (header + intact records)
+	// r3dlint:guardedby mu
+	dirty bool // last append may have left a torn suffix past n
 	// r3dlint:guardedby mu
 	err error // first append error, surfaced at close
 }
@@ -88,14 +99,14 @@ type journal struct {
 // (the checkpoint restore path: the snapshot already vouches for the
 // prefix, so only the suffix replays); an offset the journal cannot
 // honor falls back to a full replay with an explanatory note.
-func openJournal(path string, fingerprint string, resume bool, fromOffset int64) (*journal, []TrialOutcome, []string, error) {
+func openJournal(fsys iofault.FS, path string, fingerprint string, resume bool, fromOffset int64) (*journal, []TrialOutcome, []string, error) {
 	if resume {
-		done, validLen, exists, notes, err := readJournal(path, fingerprint, fromOffset)
+		done, validLen, exists, notes, err := readJournal(fsys, path, fingerprint, fromOffset)
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		if exists {
-			f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+			f, err := fsys.OpenFile(path, os.O_WRONLY, 0o644)
 			if err != nil {
 				return nil, nil, nil, fmt.Errorf("campaign: reopen journal: %w", err)
 			}
@@ -110,7 +121,7 @@ func openJournal(path string, fingerprint string, resume bool, fromOffset int64)
 			return &journal{f: f, n: validLen}, done, notes, nil
 		}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("campaign: create journal: %w", err)
 	}
@@ -131,8 +142,8 @@ func openJournal(path string, fingerprint string, resume bool, fromOffset int64)
 // header or fingerprint is an error. Torn or checksum-failing records —
 // and everything after them — are reported in notes and excluded, so
 // their trials re-run.
-func readJournal(path string, fingerprint string, fromOffset int64) ([]TrialOutcome, int64, bool, []string, error) {
-	data, err := os.ReadFile(path)
+func readJournal(fsys iofault.FS, path string, fingerprint string, fromOffset int64) ([]TrialOutcome, int64, bool, []string, error) {
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, 0, false, nil, nil
 	}
@@ -211,8 +222,11 @@ func cutLine(b []byte) (line, rest []byte, ok bool) {
 	return b[:i], b[i+1:], true
 }
 
-// append journals one outcome. Errors are sticky and surfaced at close
-// so workers never have to unwind mid-trial for an I/O failure.
+// append journals one outcome, retrying transient storage faults with
+// a truncate-and-rewrite so a retried record never glues onto the torn
+// prefix a failed attempt left behind. Errors are sticky and surfaced
+// at close so workers never have to unwind mid-trial for an I/O
+// failure.
 func (j *journal) append(out TrialOutcome) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -229,12 +243,42 @@ func (j *journal) append(out TrialOutcome) {
 		j.err = err
 		return
 	}
-	//lint:ignore blockhold the append must commit inside the critical section so j.n and the file prefix stay in lockstep for checkpoint offsets
-	if _, err := j.f.Write(append(enc, '\n')); err != nil {
+	line := append(enc, '\n')
+	if err := backoff.Retry(journalRetry, nil, func() error { return j.attemptLocked(line) }); err != nil {
 		j.err = fmt.Errorf("campaign: journal append: %w", err)
 		return
 	}
-	j.n += int64(len(enc) + 1)
+	j.n += int64(len(line))
+}
+
+// attemptLocked is one append attempt. It runs with mu held — its only
+// caller is append's retry closure — but the call arrives through
+// backoff.Retry, which hides the locked call site from the mutexguard
+// propagation; the suppressions below record that proof obligation.
+func (j *journal) attemptLocked(line []byte) error {
+	//lint:ignore mutexguard called with mu held; the backoff.Retry indirection hides append's locked call site
+	if j.dirty {
+		// A prior attempt may have landed a partial record (a short
+		// write, or ENOSPC after a prefix); claw the file back to the
+		// last committed boundary before rewriting.
+		//lint:ignore mutexguard called with mu held; see the function comment
+		if terr := j.f.Truncate(j.n); terr != nil { //lint:ignore blockhold the truncate must run inside the critical section so j.n and the file prefix stay in lockstep for checkpoint offsets
+			return fmt.Errorf("campaign: trim torn journal suffix: %w", terr)
+		}
+		//lint:ignore mutexguard called with mu held; see the function comment
+		if _, serr := j.f.Seek(j.n, io.SeekStart); serr != nil { //lint:ignore blockhold same critical section as the truncate above
+			return fmt.Errorf("campaign: reseek journal: %w", serr)
+		}
+		//lint:ignore mutexguard called with mu held; see the function comment
+		j.dirty = false
+	}
+	//lint:ignore blockhold the append must commit inside the critical section so j.n and the file prefix stay in lockstep for checkpoint offsets
+	if _, werr := j.f.Write(line); werr != nil {
+		//lint:ignore mutexguard called with mu held; see the function comment
+		j.dirty = true
+		return werr
+	}
+	return nil
 }
 
 // bytes returns the committed byte length — the offset a checkpoint

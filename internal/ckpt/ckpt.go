@@ -32,8 +32,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
-	"os"
 	"path/filepath"
+
+	"r3d/internal/backoff"
+	"r3d/internal/iofault"
 )
 
 const (
@@ -132,14 +134,26 @@ func (w *Writer) Append(v any) error {
 // Len returns the number of appended records.
 func (w *Writer) Len() int { return len(w.records) }
 
-// Commit atomically installs the snapshot at path: write to a temp file
-// in the same directory, fsync, rotate any existing snapshot to
-// PrevPath(path), then rename the temp file into place. After Commit
-// returns nil the new snapshot is durable and the previous one remains
-// available for rollback.
-func (w *Writer) Commit(path string) (err error) {
+// dirSyncRetry bounds the directory-fsync retry inside CommitTo. The
+// sync is retried in-line (no sleeping — commit callers own pacing)
+// because a transient storage fault there would otherwise void the
+// durability promise the atomic rename just made.
+var dirSyncRetry = backoff.Policy{Attempts: 3}
+
+// Commit atomically installs the snapshot at path on the real
+// filesystem. See CommitTo.
+func (w *Writer) Commit(path string) error {
+	return w.CommitTo(iofault.OS(), path)
+}
+
+// CommitTo atomically installs the snapshot at path on fsys: write to a
+// temp file in the same directory, fsync, rotate any existing snapshot
+// to PrevPath(path), then rename the temp file into place and fsync the
+// directory. After CommitTo returns nil the new snapshot is durable and
+// the previous one remains available for rollback.
+func (w *Writer) CommitTo(fsys iofault.FS, path string) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("ckpt: create temp snapshot: %w", err)
 	}
@@ -148,7 +162,7 @@ func (w *Writer) Commit(path string) (err error) {
 			// Best-effort cleanup on the failure path; the commit error
 			// already carries the cause.
 			_ = tmp.Close()
-			_ = os.Remove(tmp.Name())
+			_ = fsys.Remove(tmp.Name())
 		}
 	}()
 
@@ -180,19 +194,21 @@ func (w *Writer) Commit(path string) (err error) {
 
 	// Rotate current → .prev, then temp → current. A kill between the
 	// two renames leaves only the .prev; LoadLatest rolls back to it.
-	if _, serr := os.Stat(path); serr == nil {
-		if err = os.Rename(path, PrevPath(path)); err != nil {
+	if _, serr := fsys.Stat(path); serr == nil {
+		if err = fsys.Rename(path, PrevPath(path)); err != nil {
 			return fmt.Errorf("ckpt: rotate previous snapshot: %w", err)
 		}
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("ckpt: install snapshot: %w", err)
 	}
-	// Best effort: make the renames durable. Failure here does not
-	// invalidate the snapshot already visible at path.
-	if d, derr := os.Open(dir); derr == nil {
-		_ = d.Sync()
-		_ = d.Close()
+	// Make the renames durable. A failed directory sync means a crash
+	// could resurrect the old snapshot (or lose this one entirely), so
+	// it is classified, not dropped: transient faults are retried
+	// in-line, and a persistent failure surfaces as a commit error —
+	// the snapshot is visible but its durability is not yet promised.
+	if err = backoff.Retry(dirSyncRetry, nil, func() error { return fsys.SyncDir(dir) }); err != nil {
+		return fmt.Errorf("ckpt: sync snapshot directory: %w", err)
 	}
 	return nil
 }
@@ -214,12 +230,18 @@ func (s *Snapshot) Decode(i int, v any) error {
 	return nil
 }
 
-// Load reads and validates the snapshot at path. It returns
+// Load reads and validates the snapshot at path on the real
+// filesystem. See LoadFrom.
+func Load(path string, want Meta) (*Snapshot, error) {
+	return LoadFrom(iofault.OS(), path, want)
+}
+
+// LoadFrom reads and validates the snapshot at path on fsys. It returns
 // fs.ErrNotExist (wrapped) when no file exists, a *CorruptError for
 // structural damage, and a *MismatchError for an intact file with the
 // wrong kind, fingerprint or version.
-func Load(path string, want Meta) (*Snapshot, error) {
-	data, err := os.ReadFile(path)
+func LoadFrom(fsys iofault.FS, path string, want Meta) (*Snapshot, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil, fmt.Errorf("ckpt: %s: %w", path, fs.ErrNotExist)
@@ -287,7 +309,12 @@ func Load(path string, want Meta) (*Snapshot, error) {
 // snapshot's .prev is equally foreign, and silently restoring it would
 // hide the incompatibility.
 func LoadLatest(path string, want Meta) (*Snapshot, string, error) {
-	snap, err := Load(path, want)
+	return LoadLatestFrom(iofault.OS(), path, want)
+}
+
+// LoadLatestFrom is LoadLatest against an explicit filesystem.
+func LoadLatestFrom(fsys iofault.FS, path string, want Meta) (*Snapshot, string, error) {
+	snap, err := LoadFrom(fsys, path, want)
 	if err == nil {
 		return snap, "", nil
 	}
@@ -296,7 +323,7 @@ func LoadLatest(path string, want Meta) (*Snapshot, string, error) {
 	if !recoverable {
 		return nil, "", err
 	}
-	prev, perr := Load(PrevPath(path), want)
+	prev, perr := LoadFrom(fsys, PrevPath(path), want)
 	if perr != nil {
 		// No good previous snapshot: surface the primary's failure.
 		return nil, "", err

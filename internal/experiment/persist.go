@@ -8,6 +8,7 @@ import (
 	"io/fs"
 
 	"r3d/internal/ckpt"
+	"r3d/internal/iofault"
 	"r3d/internal/runsched"
 )
 
@@ -75,11 +76,17 @@ func encodeRunValue(v runValue) ([]byte, error) {
 	}{Lead: v.lead, RMT: v.rmt})
 }
 
-// SaveCache persists every successful memoized window to path as an
-// atomically committed checkpoint (the previous cache generation is
-// kept alongside as path+".prev"). It returns the number of entries
-// written.
+// SaveCache persists every successful memoized window to path on the
+// real filesystem. See SaveCacheTo.
 func (s *Session) SaveCache(path string) (int, error) {
+	return s.SaveCacheTo(iofault.OS(), path)
+}
+
+// SaveCacheTo persists every successful memoized window to path on fsys
+// as an atomically committed checkpoint (the previous cache generation
+// is kept alongside as path+".prev"). It returns the number of entries
+// written.
+func (s *Session) SaveCacheTo(fsys iofault.FS, path string) (int, error) {
 	fp, err := cacheFingerprint(s.Q)
 	if err != nil {
 		return 0, err
@@ -99,7 +106,7 @@ func (s *Session) SaveCache(path string) (int, error) {
 			return 0, err
 		}
 	}
-	if err := w.Commit(path); err != nil {
+	if err := w.CommitTo(fsys, path); err != nil {
 		return 0, err
 	}
 	return len(entries), nil
@@ -112,11 +119,16 @@ func (s *Session) SaveCache(path string) (int, error) {
 // quality or build is a hard error (point r3dbench at a fresh -cache
 // path instead). It returns the number of entries preloaded.
 func (s *Session) LoadCache(path string) (int, []string, error) {
+	return s.LoadCacheFrom(iofault.OS(), path)
+}
+
+// LoadCacheFrom is LoadCache against an explicit filesystem.
+func (s *Session) LoadCacheFrom(fsys iofault.FS, path string) (int, []string, error) {
 	fp, err := cacheFingerprint(s.Q)
 	if err != nil {
 		return 0, nil, err
 	}
-	snap, note, err := ckpt.LoadLatest(path, ckpt.Meta{Kind: cacheKind, Fingerprint: fp})
+	snap, note, err := ckpt.LoadLatestFrom(fsys, path, ckpt.Meta{Kind: cacheKind, Fingerprint: fp})
 	var notes []string
 	if note != "" {
 		notes = append(notes, note)

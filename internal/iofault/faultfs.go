@@ -1,0 +1,413 @@
+package iofault
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"syscall"
+)
+
+// Schedule is one seeded fault lattice: per-operation injection rates
+// for each fault kind, plus two scheduled cliffs — a crash point and a
+// permanent-failure point. The schedule is the unit of reproducibility:
+// the same Schedule over the same operation sequence injects the same
+// faults at the same ops, byte for byte.
+type Schedule struct {
+	// Seed drives every injection draw. Two FaultFS instances with the
+	// same Seed and rates, fed the same op sequence, inject identically.
+	Seed int64
+
+	// Per-op injection probabilities in [0,1]. Writes are eligible for
+	// WriteErr, ShortWrite, ENOSPC and BitFlip (at most one fires per
+	// op); Sync for SyncDrop; Rename for RenameErr; every op for SlowIO.
+	WriteErr   float64
+	ShortWrite float64
+	ENOSPC     float64
+	BitFlip    float64
+	SyncDrop   float64
+	RenameErr  float64
+	SlowIO     float64
+
+	// SlowIONanos is the latency one SlowIO injection accounts (and
+	// sleeps, when a sleeper is wired). 0 selects 1ms.
+	SlowIONanos int64
+
+	// CrashAtOp, when > 0, fails that operation and every later one
+	// with a permanent crash error; the harness then calls MemFS.Crash
+	// and restarts the system under test. The Crashed channel closes at
+	// that moment so a campaign can stop computing promptly.
+	CrashAtOp int64
+
+	// FailWritesFrom, when > 0, makes every write, sync and rename from
+	// that op onward fail permanently — the dead-device scenario that
+	// must exhaust retries and degrade serving rather than crash it.
+	FailWritesFrom int64
+}
+
+// Fault is one injected fault, as recorded in the log.
+type Fault struct {
+	Seq  int64
+	Op   string
+	Kind Kind
+	Path string
+}
+
+// String renders the canonical log line; the chaos determinism check
+// byte-compares these across same-seed runs.
+func (f Fault) String() string {
+	return fmt.Sprintf("op=%d %s kind=%s path=%s", f.Seq, f.Op, f.Kind, f.Path)
+}
+
+// FaultFS wraps an inner FS and injects faults from a seeded Schedule.
+// Decisions are drawn under a mutex in operation order, so a
+// single-threaded caller (the chaos harness runs campaigns with one
+// worker) gets a fully deterministic fault sequence.
+type FaultFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// r3dlint:guardedby mu
+	rng *rand.Rand
+	// r3dlint:guardedby mu
+	seq int64
+	// r3dlint:guardedby mu
+	log []Fault
+	// r3dlint:guardedby mu
+	sched Schedule
+	// r3dlint:guardedby mu
+	healed bool // Heal() disables all injection
+	// r3dlint:guardedby mu
+	crashed bool
+
+	crashCh   chan struct{}
+	crashOnce sync.Once
+
+	// sleep, when non-nil, is called for SlowIO injections with the
+	// scheduled latency. Model code never sleeps on its own; the CLI
+	// driver wires a real sleeper.
+	sleep func(ns int64)
+}
+
+// NewFaultFS wraps inner with the given schedule. sleep may be nil, in
+// which case slow-I/O faults are logged and accounted but not slept.
+func NewFaultFS(inner FS, sched Schedule, sleep func(ns int64)) *FaultFS {
+	if sched.SlowIONanos == 0 {
+		sched.SlowIONanos = 1_000_000
+	}
+	return &FaultFS{
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(sched.Seed)),
+		sched:   sched,
+		crashCh: make(chan struct{}),
+		sleep:   sleep,
+	}
+}
+
+// Crashed returns a channel closed when the scheduled crash point
+// fires; a campaign passes it as Config.Stop so compute stops promptly
+// once storage is gone.
+func (f *FaultFS) Crashed() <-chan struct{} { return f.crashCh }
+
+// Heal disables all further injection; subsequent operations pass
+// straight through. The degraded-serving scenario uses it to model an
+// operator freeing disk space, after which the daemon must re-arm.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.healed = true
+}
+
+// Log returns the injected-fault log so far, in injection order.
+func (f *FaultFS) Log() []Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Fault, len(f.log))
+	copy(out, f.log)
+	return out
+}
+
+// LogLines renders the log canonically, one line per fault.
+func (f *FaultFS) LogLines() []string {
+	faults := f.Log()
+	lines := make([]string, len(faults))
+	for i, fl := range faults {
+		lines[i] = fl.String()
+	}
+	return lines
+}
+
+// decision is what decide returns: the fault to inject on this op, if
+// any, plus bookkeeping captured under the lock so the actual I/O (and
+// any sleeping) happens outside it.
+type decision struct {
+	seq   int64
+	kind  Kind  // "" = no fault
+	class Class // retryability of the injected fault
+	slow  bool
+	sleep func(ns int64)
+	ns    int64
+}
+
+// decide draws the injection decision for one operation. writeLike
+// marks ops eligible for the permanent-failure cliff; kinds lists the
+// fault kinds this op is eligible for, in precedence order.
+func (f *FaultFS) decide(op, path string, writeLike bool, kinds ...Kind) decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	d := decision{seq: f.seq}
+	if f.healed {
+		return d
+	}
+	if f.sched.CrashAtOp > 0 && f.seq >= f.sched.CrashAtOp {
+		f.crashed = true
+		f.record(Fault{Seq: f.seq, Op: op, Kind: KindCrash, Path: path})
+		f.crashOnce.Do(func() { close(f.crashCh) })
+		d.kind = KindCrash
+		d.class = ClassPermanent
+		return d
+	}
+	if writeLike && f.sched.FailWritesFrom > 0 && f.seq >= f.sched.FailWritesFrom {
+		// The dead-device cliff: same write-error kind, permanent class.
+		f.record(Fault{Seq: f.seq, Op: op, Kind: KindWriteErr, Path: path})
+		d.kind = KindWriteErr
+		d.class = ClassPermanent
+		return d
+	}
+	// One uniform draw per op, walked against cumulative rates in a
+	// fixed kind order, so adding a kind never perturbs earlier draws.
+	u := f.rng.Float64()
+	acc := 0.0
+	for _, k := range kinds {
+		acc += f.rate(k)
+		if u < acc {
+			f.record(Fault{Seq: f.seq, Op: op, Kind: k, Path: path})
+			d.kind = k
+			break
+		}
+	}
+	// Slow I/O draws independently: latency can stack on any outcome.
+	if f.sched.SlowIO > 0 && f.rng.Float64() < f.sched.SlowIO {
+		f.record(Fault{Seq: f.seq, Op: op, Kind: KindSlowIO, Path: path})
+		d.slow = true
+		d.sleep = f.sleep
+		d.ns = f.sched.SlowIONanos
+	}
+	return d
+}
+
+// record appends to the fault log (mu held).
+func (f *FaultFS) record(fl Fault) { f.log = append(f.log, fl) }
+
+func (f *FaultFS) rate(k Kind) float64 {
+	switch k {
+	case KindWriteErr:
+		return f.sched.WriteErr
+	case KindShortWrite:
+		return f.sched.ShortWrite
+	case KindENOSPC:
+		return f.sched.ENOSPC
+	case KindBitFlip:
+		return f.sched.BitFlip
+	case KindSyncDrop:
+		return f.sched.SyncDrop
+	case KindRenameErr:
+		return f.sched.RenameErr
+	default:
+		return 0
+	}
+}
+
+// apply runs the decision's side effects that live outside the lock.
+func (d decision) applySlow() {
+	if d.slow && d.sleep != nil {
+		d.sleep(d.ns)
+	}
+}
+
+// err builds the injected error for the decision.
+func (d decision) err(op, path string) error {
+	var errno error
+	if d.kind == KindENOSPC {
+		errno = syscall.ENOSPC
+	}
+	return &Error{Op: op, Path: path, Kind: d.kind, Seq: d.seq, Class: d.class, Errno: errno}
+}
+
+// --- FS implementation ---
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	d := f.decide("open", name, false)
+	d.applySlow()
+	if d.kind == KindCrash {
+		return nil, d.err("open", name)
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	d := f.decide("create-temp", dir+"/"+pattern, false)
+	d.applySlow()
+	if d.kind == KindCrash {
+		return nil, d.err("create-temp", dir+"/"+pattern)
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	d := f.decide("read", name, false)
+	d.applySlow()
+	if d.kind == KindCrash {
+		return nil, d.err("read", name)
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	d := f.decide("rename", oldpath+" -> "+newpath, true, KindRenameErr)
+	d.applySlow()
+	switch d.kind {
+	case KindCrash, KindWriteErr, KindRenameErr:
+		return d.err("rename", oldpath+" -> "+newpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	d := f.decide("remove", name, false)
+	d.applySlow()
+	if d.kind == KindCrash {
+		return d.err("remove", name)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	// Stats are metadata reads; only the crash cliff affects them, and
+	// they do not consume an injection draw (they are not durable ops).
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, &Error{Op: "stat", Path: name, Kind: KindCrash, Class: ClassPermanent}
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	d := f.decide("sync-dir", dir, true, KindSyncDrop)
+	d.applySlow()
+	switch d.kind {
+	case KindCrash, KindWriteErr:
+		return d.err("sync-dir", dir)
+	case KindSyncDrop:
+		return nil // silently dropped: entries stay volatile
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile wraps one inner handle; write-path faults inject here.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (w *faultFile) Name() string { return w.inner.Name() }
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	d := w.fs.decide("write", w.inner.Name(), true, KindWriteErr, KindShortWrite, KindENOSPC, KindBitFlip)
+	d.applySlow()
+	switch d.kind {
+	case KindCrash, KindWriteErr:
+		return 0, d.err("write", w.inner.Name())
+	case KindENOSPC:
+		// Out-of-space after a prefix landed: the mid-record torn-write
+		// generator. Half the payload (at least one byte) goes down.
+		n := len(p) / 2
+		if n == 0 && len(p) > 0 {
+			n = 1
+		}
+		if n > 0 {
+			if wrote, werr := w.inner.Write(p[:n]); werr != nil {
+				return wrote, werr
+			}
+		}
+		return n, d.err("write", w.inner.Name())
+	case KindShortWrite:
+		n := (len(p) + 2) / 3 // a third of the payload, at least one byte
+		if n >= len(p) && len(p) > 0 {
+			n = len(p) - 1
+		}
+		if n > 0 {
+			if wrote, werr := w.inner.Write(p[:n]); werr != nil {
+				return wrote, werr
+			}
+		}
+		return n, d.err("write", w.inner.Name())
+	case KindBitFlip:
+		// The write "succeeds" but one bit is corrupt on the way down;
+		// only a CRC check can catch it later.
+		if len(p) == 0 {
+			return w.inner.Write(p)
+		}
+		flipped := make([]byte, len(p))
+		copy(flipped, p)
+		// Position derives from the op sequence, keeping it
+		// deterministic without another rng draw.
+		i := int(d.seq) % len(flipped)
+		flipped[i] ^= 1 << (uint(d.seq) % 8)
+		return w.inner.Write(flipped)
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultFile) Truncate(size int64) error {
+	d := w.fs.decide("truncate", w.inner.Name(), true, KindWriteErr)
+	d.applySlow()
+	switch d.kind {
+	case KindCrash, KindWriteErr:
+		return d.err("truncate", w.inner.Name())
+	}
+	return w.inner.Truncate(size)
+}
+
+func (w *faultFile) Seek(offset int64, whence int) (int64, error) {
+	// Seeks move a cursor, not data; only the crash cliff affects them.
+	w.fs.mu.Lock()
+	crashed := w.fs.crashed
+	w.fs.mu.Unlock()
+	if crashed {
+		return 0, &Error{Op: "seek", Path: w.inner.Name(), Kind: KindCrash, Class: ClassPermanent}
+	}
+	return w.inner.Seek(offset, whence)
+}
+
+func (w *faultFile) Sync() error {
+	d := w.fs.decide("sync", w.inner.Name(), true, KindSyncDrop)
+	d.applySlow()
+	switch d.kind {
+	case KindCrash, KindWriteErr:
+		return d.err("sync", w.inner.Name())
+	case KindSyncDrop:
+		return nil // reported durable, actually volatile
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Close() error {
+	d := w.fs.decide("close", w.inner.Name(), false)
+	d.applySlow()
+	if d.kind == KindCrash {
+		return d.err("close", w.inner.Name())
+	}
+	return w.inner.Close()
+}

@@ -1,0 +1,434 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// --- MemFS crash semantics ---
+
+func writeAll(t *testing.T, fsys FS, name string, data []byte, sync bool) {
+	t.Helper()
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", name, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", name, err)
+	}
+}
+
+func TestMemFSUnsyncedContentLostOnCrash(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "/d/a", []byte("synced"), true)
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+	// Overwrite without sync: volatile only.
+	writeAll(t, m, "/d/a", []byte("volatile"), false)
+	if got, _ := m.ReadFile("/d/a"); string(got) != "volatile" {
+		t.Fatalf("pre-crash read = %q", got)
+	}
+	m.Crash()
+	got, err := m.ReadFile("/d/a")
+	if err != nil {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	if string(got) != "synced" {
+		t.Fatalf("post-crash content = %q, want rollback to %q", got, "synced")
+	}
+}
+
+func TestMemFSUnsyncedDirEntryLostOnCrash(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "/d/a", []byte("x"), true)
+	// File content synced, but the directory entry never was.
+	m.Crash()
+	if _, err := m.ReadFile("/d/a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want ErrNotExist for unsynced dir entry, got %v", err)
+	}
+}
+
+func TestMemFSRenameRevertsWithoutSyncDir(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "/d/old", []byte("x"), true)
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+	if err := m.Rename("/d/old", "/d/new"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	m.Crash()
+	if _, err := m.ReadFile("/d/old"); err != nil {
+		t.Fatalf("post-crash: old name should persist, got %v", err)
+	}
+	if _, err := m.ReadFile("/d/new"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("post-crash: new name should be gone, got %v", err)
+	}
+}
+
+func TestMemFSRenameDurableAfterSyncDir(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "/d/old", []byte("x"), true)
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+	if err := m.Rename("/d/old", "/d/new"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatalf("syncdir 2: %v", err)
+	}
+	m.Crash()
+	if _, err := m.ReadFile("/d/new"); err != nil {
+		t.Fatalf("post-crash: new name should persist, got %v", err)
+	}
+	if _, err := m.ReadFile("/d/old"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("post-crash: old name should be gone, got %v", err)
+	}
+}
+
+func TestMemFSStaleHandleAfterCrash(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	m.Crash()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write on stale handle should fail")
+	}
+	var ie *Error
+	if _, err := f.Write([]byte("x")); !errors.As(err, &ie) || ie.Kind != KindCrash || ie.Class != ClassPermanent {
+		t.Fatalf("stale handle error = %v, want permanent crash Error", err)
+	}
+}
+
+func TestMemFSDurableView(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "/d/a", []byte("v1"), true)
+	if _, ok := m.Durable("/d/a"); ok {
+		t.Fatal("entry durable before SyncDir")
+	}
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+	got, ok := m.Durable("/d/a")
+	if !ok || string(got) != "v1" {
+		t.Fatalf("Durable = %q,%v want v1,true", got, ok)
+	}
+	// Unsynced overwrite does not change the durable view.
+	writeAll(t, m, "/d/a", []byte("v2"), false)
+	if got, _ := m.Durable("/d/a"); string(got) != "v1" {
+		t.Fatalf("Durable after volatile overwrite = %q, want v1", got)
+	}
+}
+
+func TestMemFSCreateTempDeterministicNames(t *testing.T) {
+	a, b := NewMemFS(), NewMemFS()
+	fa, err := a.CreateTemp("/d", "ckpt-*.tmp")
+	if err != nil {
+		t.Fatalf("a: %v", err)
+	}
+	fb, err := b.CreateTemp("/d", "ckpt-*.tmp")
+	if err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	if fa.Name() != fb.Name() {
+		t.Fatalf("temp names diverge: %q vs %q", fa.Name(), fb.Name())
+	}
+	if !strings.Contains(fa.Name(), "ckpt-") {
+		t.Fatalf("temp name %q lost its pattern prefix", fa.Name())
+	}
+}
+
+func TestMemFSAppendFlag(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "/d/j", []byte("aaa"), false)
+	f, err := m.OpenFile("/d/j", os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open append: %v", err)
+	}
+	if _, err := f.Write([]byte("bbb")); err != nil {
+		t.Fatalf("append write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got, _ := m.ReadFile("/d/j"); string(got) != "aaabbb" {
+		t.Fatalf("append result = %q", got)
+	}
+}
+
+func TestMemFSTruncateAndSeek(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.OpenFile("/d/j", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if pos, err := f.Seek(4, 0); err != nil || pos != 4 {
+		t.Fatalf("seek = %d,%v", pos, err)
+	}
+	if _, err := f.Write([]byte("XY")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got, _ := m.ReadFile("/d/j"); string(got) != "0123XY" {
+		t.Fatalf("content = %q, want 0123XY", got)
+	}
+}
+
+// --- FaultFS ---
+
+func TestFaultFSSameSeedIdenticalLogs(t *testing.T) {
+	run := func() []string {
+		m := NewMemFS()
+		ffs := NewFaultFS(m, Schedule{Seed: 42, WriteErr: 0.2, ShortWrite: 0.1, SyncDrop: 0.2, SlowIO: 0.1}, nil)
+		for i := 0; i < 40; i++ {
+			f, err := ffs.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+			if err != nil {
+				continue
+			}
+			_, _ = f.Write([]byte("payload-payload"))
+			_ = f.Sync()
+			_ = f.Close()
+		}
+		return ffs.LogLines()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("schedule injected nothing; rates too low for the test to mean anything")
+	}
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("same-seed logs diverge:\nA:\n%s\nB:\n%s", strings.Join(a, "\n"), strings.Join(b, "\n"))
+	}
+}
+
+func TestFaultFSShortWriteLeavesPrefix(t *testing.T) {
+	m := NewMemFS()
+	ffs := NewFaultFS(m, Schedule{Seed: 1, ShortWrite: 1.0}, nil)
+	f, err := ffs.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	payload := []byte("0123456789AB")
+	n, werr := f.Write(payload)
+	if werr == nil {
+		t.Fatal("short write should report an error")
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("short write n = %d, want strict prefix", n)
+	}
+	var ie *Error
+	if !errors.As(werr, &ie) || ie.Kind != KindShortWrite || !ie.Transient() {
+		t.Fatalf("error = %v, want transient short-write", werr)
+	}
+	got, _ := m.ReadFile("/d/a")
+	if string(got) != string(payload[:n]) {
+		t.Fatalf("on-disk prefix = %q, want %q", got, payload[:n])
+	}
+}
+
+func TestFaultFSENOSPCWrapsErrno(t *testing.T) {
+	m := NewMemFS()
+	ffs := NewFaultFS(m, Schedule{Seed: 1, ENOSPC: 1.0}, nil)
+	f, err := ffs.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	_, werr := f.Write([]byte("0123456789"))
+	if werr == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("error %v does not unwrap to ENOSPC", werr)
+	}
+}
+
+func TestFaultFSBitFlipCorruptsExactlyOneBit(t *testing.T) {
+	m := NewMemFS()
+	ffs := NewFaultFS(m, Schedule{Seed: 1, BitFlip: 1.0}, nil)
+	f, err := ffs.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	payload := []byte("0123456789")
+	n, werr := f.Write(payload)
+	if werr != nil || n != len(payload) {
+		t.Fatalf("bit-flip write should report success, got n=%d err=%v", n, werr)
+	}
+	got, _ := m.ReadFile("/d/a")
+	diffBits := 0
+	for i := range payload {
+		x := payload[i] ^ got[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("bit-flip changed %d bits, want exactly 1", diffBits)
+	}
+}
+
+func TestFaultFSSyncDropLeavesVolatile(t *testing.T) {
+	m := NewMemFS()
+	ffs := NewFaultFS(m, Schedule{Seed: 1, SyncDrop: 1.0}, nil)
+	f, err := ffs.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("dropped sync must still report success, got %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := ffs.SyncDir("/d"); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+	m.Crash()
+	// The content sync was dropped; even if the entry survived, content
+	// must have rolled back to empty.
+	if got, ok := m.Durable("/d/a"); ok && len(got) != 0 {
+		t.Fatalf("dropped sync leaked %q into the durable view", got)
+	}
+}
+
+func TestFaultFSCrashCliff(t *testing.T) {
+	m := NewMemFS()
+	ffs := NewFaultFS(m, Schedule{Seed: 1, CrashAtOp: 3}, nil)
+	f, err := ffs.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE, 0o644) // op 1
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil { // op 2
+		t.Fatalf("write: %v", err)
+	}
+	select {
+	case <-ffs.Crashed():
+		t.Fatal("Crashed closed before the cliff")
+	default:
+	}
+	if err := f.Sync(); err == nil { // op 3: the cliff
+		t.Fatal("op at the cliff should fail")
+	}
+	select {
+	case <-ffs.Crashed():
+	default:
+		t.Fatal("Crashed channel not closed at the cliff")
+	}
+	// Everything after the cliff fails permanently.
+	if _, err := ffs.ReadFile("/d/a"); err == nil {
+		t.Fatal("post-cliff op should fail")
+	}
+	var ie *Error
+	if _, err := ffs.OpenFile("/d/b", os.O_WRONLY|os.O_CREATE, 0o644); !errors.As(err, &ie) || ie.Kind != KindCrash || ie.Transient() {
+		t.Fatalf("post-cliff error = %v, want permanent crash", err)
+	}
+}
+
+func TestFaultFSFailWritesFromIsPermanent(t *testing.T) {
+	m := NewMemFS()
+	ffs := NewFaultFS(m, Schedule{Seed: 1, FailWritesFrom: 1}, nil)
+	f, err := ffs.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	_, werr := f.Write([]byte("x"))
+	var ie *Error
+	if !errors.As(werr, &ie) || ie.Transient() {
+		t.Fatalf("dead-device write error = %v, want permanent", werr)
+	}
+	// Reads still work: the device is write-dead, not gone.
+	if _, err := ffs.ReadFile("/d/a"); err != nil {
+		t.Fatalf("read on write-dead device: %v", err)
+	}
+}
+
+func TestFaultFSHealStopsInjection(t *testing.T) {
+	m := NewMemFS()
+	ffs := NewFaultFS(m, Schedule{Seed: 1, WriteErr: 1.0}, nil)
+	f, err := ffs.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("pre-heal write should fail")
+	}
+	ffs.Heal()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+}
+
+func TestFaultFSSlowIOSleeps(t *testing.T) {
+	var slept int64
+	m := NewMemFS()
+	ffs := NewFaultFS(m, Schedule{Seed: 1, SlowIO: 1.0, SlowIONanos: 7}, func(ns int64) { slept += ns })
+	if _, err := ffs.ReadFile("/missing"); err == nil {
+		t.Fatal("want not-exist error")
+	}
+	if slept != 7 {
+		t.Fatalf("slept %d ns, want 7", slept)
+	}
+}
+
+// --- OS passthrough ---
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	tmp, err := fsys.CreateTemp(dir, "t-*.tmp")
+	if err != nil {
+		t.Fatalf("create temp: %v", err)
+	}
+	if _, err := tmp.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	final := filepath.Join(dir, "final")
+	if err := fsys.Rename(tmp.Name(), final); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+	got, err := fsys.ReadFile(final)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back = %q, %v", got, err)
+	}
+	if _, err := fsys.Stat(final); err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := fsys.Remove(final); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+}

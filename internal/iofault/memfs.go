@@ -1,0 +1,349 @@
+package iofault
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"r3d/internal/detmap"
+)
+
+// MemFS is an in-memory filesystem with honest crash semantics. It
+// tracks two views of the world:
+//
+//   - the volatile view (names + file contents as the running process
+//     sees them), updated by every operation;
+//   - the durable view (what would survive a power cut), updated only
+//     by File.Sync — which persists one file's content — and SyncDir —
+//     which persists one directory's entries (creates, renames,
+//     removes), exactly the two promises fsync and directory-fsync make
+//     on a real filesystem.
+//
+// Crash() discards the volatile view and rebuilds the namespace from
+// the durable one: files whose directory entry was never synced
+// disappear, renames that were never followed by SyncDir revert, and
+// file contents roll back to their last successful Sync. Handles opened
+// before the crash go stale and fail permanently, the way file
+// descriptors do not survive a reboot. This is what lets the chaos
+// harness simulate a SIGKILL-at-op-N without spawning a process: make
+// every operation after N fail, crash the FS, and the surviving bytes
+// are exactly what a real kill would have left.
+type MemFS struct {
+	mu sync.Mutex
+	// r3dlint:guardedby mu
+	names map[string]*inode // volatile directory
+	// r3dlint:guardedby mu
+	durable map[string]*inode // durable directory
+	// r3dlint:guardedby mu
+	tempSeq int64 // deterministic CreateTemp suffix counter
+	// r3dlint:guardedby mu
+	epoch int64 // bumped by Crash; stale handles fail
+}
+
+// inode fields are guarded by the owning MemFS's mu (a cross-struct
+// contract the guardedby grammar cannot name; every access goes through
+// MemFS methods that hold it).
+type inode struct {
+	data   []byte // volatile content
+	synced []byte // content as of the last successful Sync (nil = never)
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		names:   make(map[string]*inode),
+		durable: make(map[string]*inode),
+	}
+}
+
+// ErrStaleHandle is returned by file handles opened before a Crash.
+var ErrStaleHandle = &Error{Op: "stale-handle", Kind: KindCrash, Class: ClassPermanent}
+
+func notExist(op, name string) error {
+	return &fs.PathError{Op: op, Path: name, Err: fs.ErrNotExist}
+}
+
+// OpenFile implements FS. Supported flags: os.O_RDONLY (stat-like
+// open), os.O_WRONLY/os.O_RDWR with optional os.O_CREATE, os.O_TRUNC,
+// os.O_APPEND.
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.names[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, notExist("open", name)
+		}
+		ino = &inode{}
+		m.names[name] = ino
+	}
+	if flag&os.O_TRUNC != 0 {
+		ino.data = nil
+	}
+	pos := int64(0)
+	if flag&os.O_APPEND != 0 {
+		pos = int64(len(ino.data))
+	}
+	return &memFile{fs: m, name: name, ino: ino, pos: pos, epoch: m.epoch, open: true}, nil
+}
+
+// CreateTemp implements FS with deterministic temp names: the first '*'
+// in pattern (or the end of it) is replaced with a monotonically
+// increasing counter, so two same-seeded chaos runs produce identical
+// paths and identical fault logs.
+func (m *MemFS) CreateTemp(dir, pattern string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tempSeq++
+	suffix := fmt.Sprintf("%06d", m.tempSeq)
+	var base string
+	if i := strings.LastIndex(pattern, "*"); i >= 0 {
+		base = pattern[:i] + suffix + pattern[i+1:]
+	} else {
+		base = pattern + suffix
+	}
+	name := filepath.Join(dir, base)
+	if _, exists := m.names[name]; exists {
+		return nil, fmt.Errorf("iofault: temp name %s already exists", name)
+	}
+	ino := &inode{}
+	m.names[name] = ino
+	return &memFile{fs: m, name: name, ino: ino, epoch: m.epoch, open: true}, nil
+}
+
+// ReadFile implements FS (volatile view).
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.names[name]
+	if !ok {
+		return nil, notExist("read", name)
+	}
+	out := make([]byte, len(ino.data))
+	copy(out, ino.data)
+	return out, nil
+}
+
+// Rename implements FS. Like the real thing it is atomic in the
+// volatile view but durable only after SyncDir.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.names[oldpath]
+	if !ok {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: fs.ErrNotExist}
+	}
+	delete(m.names, oldpath)
+	m.names[newpath] = ino
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.names[name]; !ok {
+		return notExist("remove", name)
+	}
+	delete(m.names, name)
+	return nil
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(name string) (fs.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.names[name]
+	if !ok {
+		return nil, notExist("stat", name)
+	}
+	return memInfo{name: filepath.Base(name), size: int64(len(ino.data))}, nil
+}
+
+// SyncDir implements FS: every volatile entry directly under dir
+// becomes durable, and durable entries removed from the volatile view
+// are forgotten. File contents are NOT persisted — only File.Sync does
+// that, matching the real fsync split.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, name := range detmap.SortedKeys(m.names) {
+		if filepath.Dir(name) == dir {
+			m.durable[name] = m.names[name]
+		}
+	}
+	for _, name := range detmap.SortedKeys(m.durable) {
+		if filepath.Dir(name) == dir {
+			if _, ok := m.names[name]; !ok {
+				delete(m.durable, name)
+			}
+		}
+	}
+	return nil
+}
+
+// Crash simulates a power cut: the volatile view is discarded and the
+// namespace rebuilt from the durable one, with every file's content
+// rolled back to its last successful Sync. Open handles go stale. The
+// filesystem is usable again immediately — the harness restarts the
+// system under test against the survivors.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+	fresh := make(map[string]*inode, len(m.durable))
+	for _, name := range detmap.SortedKeys(m.durable) {
+		old := m.durable[name]
+		data := make([]byte, len(old.synced))
+		copy(data, old.synced)
+		synced := make([]byte, len(old.synced))
+		copy(synced, old.synced)
+		fresh[name] = &inode{data: data, synced: synced}
+	}
+	m.names = fresh
+	m.durable = make(map[string]*inode, len(fresh))
+	for _, name := range detmap.SortedKeys(fresh) {
+		m.durable[name] = fresh[name]
+	}
+}
+
+// Durable returns the content name would have after a crash right now,
+// and whether the name would exist at all. Chaos drivers poll it to
+// place a crash provably after a commit.
+func (m *MemFS) Durable(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.durable[name]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(ino.synced))
+	copy(out, ino.synced)
+	return out, true
+}
+
+// memFile is one open handle. Its fields are guarded by fs.mu (every
+// method takes it; the cross-struct contract is not expressible as a
+// guardedby annotation).
+type memFile struct {
+	fs    *MemFS
+	name  string
+	ino   *inode
+	pos   int64
+	epoch int64
+	open  bool // set false by Close
+}
+
+func (f *memFile) Name() string { return f.name }
+
+// check validates the handle under fs.mu.
+func (f *memFile) check(op string) error {
+	if f.epoch != f.fs.epoch {
+		return &Error{Op: op, Path: f.name, Kind: KindCrash, Class: ClassPermanent}
+	}
+	if !f.open {
+		return fmt.Errorf("iofault: %s on closed file %s", op, f.name)
+	}
+	return nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check("write"); err != nil {
+		return 0, err
+	}
+	end := f.pos + int64(len(p))
+	if int64(len(f.ino.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, f.ino.data)
+		f.ino.data = grown
+	}
+	copy(f.ino.data[f.pos:end], p)
+	f.pos = end
+	return len(p), nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check("truncate"); err != nil {
+		return err
+	}
+	if size < 0 || size > int64(len(f.ino.data)) {
+		if size < 0 {
+			return fmt.Errorf("iofault: truncate %s to negative size", f.name)
+		}
+		grown := make([]byte, size)
+		copy(grown, f.ino.data)
+		f.ino.data = grown
+		return nil
+	}
+	f.ino.data = f.ino.data[:size]
+	return nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check("seek"); err != nil {
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = int64(len(f.ino.data))
+	default:
+		return 0, fmt.Errorf("iofault: seek %s: bad whence %d", f.name, whence)
+	}
+	if base+offset < 0 {
+		return 0, fmt.Errorf("iofault: seek %s to negative offset", f.name)
+	}
+	f.pos = base + offset
+	return f.pos, nil
+}
+
+// Sync persists this file's content into the durable view.
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check("sync"); err != nil {
+		return err
+	}
+	synced := make([]byte, len(f.ino.data))
+	copy(synced, f.ino.data)
+	f.ino.synced = synced
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check("close"); err != nil {
+		return err
+	}
+	f.open = false
+	return nil
+}
+
+// memInfo is the minimal fs.FileInfo the durable layers consult.
+type memInfo struct {
+	name string
+	size int64
+}
+
+func (i memInfo) Name() string       { return i.name }
+func (i memInfo) Size() int64        { return i.size }
+func (i memInfo) Mode() fs.FileMode  { return 0o644 }
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return false }
+func (i memInfo) Sys() any           { return nil }

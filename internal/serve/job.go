@@ -168,6 +168,19 @@ func (j *Job) bumpLocked() {
 	j.changed = make(chan struct{})
 }
 
+// Status returns the current status view (the external form of
+// snapshot, for drivers like the chaos harness that poll jobs without
+// going through HTTP).
+func (j *Job) Status() JobStatus { return j.snapshot() }
+
+// Done returns the channel closed when the job reaches a terminal
+// state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Result returns the completed result body and content type; ok is
+// false until the job is done.
+func (j *Job) Result() ([]byte, string, bool) { return j.resultBody() }
+
 // snapshot returns the current status view.
 func (j *Job) snapshot() JobStatus {
 	j.mu.Lock()

@@ -80,12 +80,12 @@ func (s *Server) persistAll() error {
 			return err
 		}
 	}
-	if err := w.Commit(s.jobStorePath()); err != nil {
+	if err := w.CommitTo(s.fsys, s.jobStorePath()); err != nil {
 		return fmt.Errorf("serve: commit job store: %w", err)
 	}
 
 	for _, t := range s.tiers {
-		if _, err := s.sessions[t.Name].SaveCache(s.cachePath(t.Name)); err != nil {
+		if _, err := s.sessions[t.Name].SaveCacheTo(s.fsys, s.cachePath(t.Name)); err != nil {
 			return fmt.Errorf("serve: save %s window cache: %w", t.Name, err)
 		}
 	}
@@ -102,7 +102,7 @@ func (s *Server) restore() error {
 	if err != nil {
 		return err
 	}
-	snap, note, err := ckpt.LoadLatest(s.jobStorePath(), ckpt.Meta{Kind: storeKind, Fingerprint: fp})
+	snap, note, err := ckpt.LoadLatestFrom(s.fsys, s.jobStorePath(), ckpt.Meta{Kind: storeKind, Fingerprint: fp})
 	if note != "" {
 		s.opts.Logf("serve: restore: %s", note)
 	}
@@ -131,7 +131,7 @@ func (s *Server) restore() error {
 	}
 
 	for _, t := range s.tiers {
-		n, notes, err := s.sessions[t.Name].LoadCache(s.cachePath(t.Name))
+		n, notes, err := s.sessions[t.Name].LoadCacheFrom(s.fsys, s.cachePath(t.Name))
 		for _, msg := range notes {
 			s.opts.Logf("serve: restore %s: %s", t.Name, msg)
 		}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"r3d/internal/backoff"
+	"r3d/internal/iofault"
+)
+
+// degradedOptions builds a persisting server over fsys with a fail-fast
+// retry policy (tests never sleep).
+func degradedOptions(fsys iofault.FS, logf func(string, ...any)) Options {
+	return Options{
+		Tiers:        []Tier{{Name: "fast", Quality: tinyQuality()}},
+		StatePath:    "/state",
+		FS:           fsys,
+		PersistRetry: backoff.Policy{Attempts: 2},
+		Logf:         logf,
+	}
+}
+
+func submitTinyCampaign(t *testing.T, s *Server, seed int64) *Job {
+	t.Helper()
+	res, serr := s.Submit(Submission{Kind: KindCampaign, Grid: tinyGrid(seed)}, "client")
+	if serr != nil {
+		t.Fatalf("submit: %v", serr)
+	}
+	j, ok := s.JobByID(res.Job.ID)
+	if !ok {
+		t.Fatalf("job %s missing", res.Job.ID)
+	}
+	return j
+}
+
+func waitJobDone(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s never finished", j.ID)
+	}
+	return j.Status()
+}
+
+// waitPersistDegraded polls until the persister (an async goroutine)
+// reports the given degraded state.
+func waitPersist(t *testing.T, s *Server, degraded bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.PersistenceDegraded() == degraded {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("persistence degraded state never became %v", degraded)
+}
+
+// TestPersistenceDegradesAndReArms is the failure-degraded serving
+// contract: a dead device exhausts the persister's retries, health
+// flips to degraded while compute keeps working, and healing the device
+// re-arms persistence on the next successful checkpoint.
+func TestPersistenceDegradesAndReArms(t *testing.T) {
+	mem := iofault.NewMemFS()
+	ffs := iofault.NewFaultFS(mem, iofault.Schedule{Seed: 1, FailWritesFrom: 1}, nil)
+	s, err := New(degradedOptions(ffs, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 1 completes; its persist exhausts retries against the dead
+	// device and degrades.
+	j1 := waitJobDone(t, submitTinyCampaign(t, s, 1))
+	if j1.State != StateDone {
+		t.Fatalf("job 1 state %s, want done", j1.State)
+	}
+	waitPersist(t, s, true)
+	h := s.HealthSnapshot()
+	if h.Status != "degraded" || h.Persistence != "degraded" {
+		t.Fatalf("health = %s/%s, want degraded/degraded", h.Status, h.Persistence)
+	}
+
+	// Compute continues while degraded: a second job still runs to done.
+	j2 := waitJobDone(t, submitTinyCampaign(t, s, 2))
+	if j2.State != StateDone {
+		t.Fatalf("job 2 state %s while degraded, want done", j2.State)
+	}
+
+	// Heal the device; the next poke's probe lands a checkpoint and
+	// re-arms persistence.
+	ffs.Heal()
+	j3 := waitJobDone(t, submitTinyCampaign(t, s, 3))
+	if j3.State != StateDone {
+		t.Fatalf("job 3 state %s, want done", j3.State)
+	}
+	waitPersist(t, s, false)
+	h = s.HealthSnapshot()
+	if h.Status != "ok" || h.Persistence != "ok" {
+		t.Fatalf("health after heal = %s/%s, want ok/ok", h.Status, h.Persistence)
+	}
+
+	s.Drain()
+
+	// The healed state restores: job results survive byte-identically.
+	if _, ok := mem.Durable("/state/jobs.ckpt"); !ok {
+		t.Fatal("job store never became durable after heal")
+	}
+	s2, err := New(Options{
+		Tiers:     []Tier{{Name: "fast", Quality: tinyQuality()}},
+		StatePath: "/state",
+		FS:        mem,
+		Restore:   true,
+	})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	defer s2.Drain()
+	for _, want := range []JobStatus{j1, j2, j3} {
+		j, ok := s2.JobByID(want.ID)
+		if !ok {
+			t.Fatalf("restored server lost job %s", want.ID)
+		}
+		st := j.Status()
+		if st.State != StateDone || !st.Restored {
+			t.Fatalf("restored job %s: state %s restored=%v", want.ID, st.State, st.Restored)
+		}
+	}
+}
+
+// TestTransientPersistFaultsAbsorbedByRetry: a flaky (but not dead)
+// device never degrades health — the retry budget absorbs it.
+func TestTransientPersistFaultsAbsorbedByRetry(t *testing.T) {
+	mem := iofault.NewMemFS()
+	// 20% write faults, absorbed by 8 attempts (the whole persistAll
+	// re-runs per attempt, so per-attempt success odds are decent for
+	// the handful of writes a tiny store makes).
+	ffs := iofault.NewFaultFS(mem, iofault.Schedule{Seed: 7, WriteErr: 0.1}, nil)
+	opts := degradedOptions(ffs, nil)
+	opts.PersistRetry = backoff.Policy{Attempts: 12}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitJobDone(t, submitTinyCampaign(t, s, 9))
+	if j.State != StateDone {
+		t.Fatalf("job state %s, want done", j.State)
+	}
+	waitPersist(t, s, false)
+	if h := s.HealthSnapshot(); h.Persistence != "ok" {
+		t.Fatalf("persistence = %s under transient faults, want ok", h.Persistence)
+	}
+	s.Drain()
+}

@@ -40,8 +40,10 @@ import (
 	"path/filepath"
 	"sync"
 
+	"r3d/internal/backoff"
 	"r3d/internal/campaign"
 	"r3d/internal/experiment"
+	"r3d/internal/iofault"
 	"r3d/internal/runsched"
 )
 
@@ -121,6 +123,16 @@ type Options struct {
 	// before serving. A store written under different tiers or an
 	// incompatible build fails loudly.
 	Restore bool
+	// FS is the filesystem the job store and window caches go through
+	// (nil selects the real filesystem; the chaos harness injects a
+	// seeded fault lattice here).
+	FS iofault.FS
+	// PersistRetry is the persister's retry policy against transient
+	// storage faults (zero value selects DefaultPersistRetry). When the
+	// budget is exhausted the daemon flips /healthz persistence to
+	// degraded and keeps computing; the next successful checkpoint
+	// re-arms it.
+	PersistRetry backoff.Policy
 	// MaxRetries / Watchdog pass through to the campaign harness.
 	MaxRetries int
 	Watchdog   campaign.Watchdog
@@ -133,6 +145,13 @@ type Options struct {
 // DefaultQueueBound bounds admitted-but-unfinished jobs when Options
 // leaves QueueBound zero.
 const DefaultQueueBound = 64
+
+// DefaultPersistRetry is the persister's retry policy when Options
+// leaves PersistRetry zero: a handful of attempts with capped
+// exponential delays (slept through the injected Clock, so a zero
+// Clock retries immediately). Transient storage faults are absorbed
+// here; anything that outlasts the budget degrades persistence.
+var DefaultPersistRetry = backoff.Policy{Attempts: 4, BaseNS: 50_000_000, CapNS: 1_000_000_000}
 
 // Counters are the monotonically increasing admission and completion
 // totals reported by /statsz.
@@ -176,6 +195,7 @@ type SubmitResult struct {
 type Server struct {
 	opts     Options
 	clock    Clock
+	fsys     iofault.FS // immutable after New
 	tiers    []Tier
 	sessions map[string]*experiment.Session // immutable after New
 	limiter  *limiter
@@ -194,6 +214,8 @@ type Server struct {
 	inflight int // admitted jobs not yet terminal
 	// r3dlint:guardedby mu
 	draining bool
+	// r3dlint:guardedby mu
+	persistDegraded bool // persistence exhausted its retries; compute continues
 	// r3dlint:guardedby mu
 	counters Counters
 }
@@ -225,6 +247,12 @@ func New(opts Options) (*Server, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.FS == nil {
+		opts.FS = iofault.OS()
+	}
+	if opts.PersistRetry == (backoff.Policy{}) {
+		opts.PersistRetry = DefaultPersistRetry
+	}
 	seen := map[string]bool{}
 	for _, t := range opts.Tiers {
 		if t.Name == "" {
@@ -239,6 +267,7 @@ func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:      opts,
 		clock:     opts.Clock.withDefaults(),
+		fsys:      opts.FS,
 		tiers:     opts.Tiers,
 		sessions:  make(map[string]*experiment.Session, len(opts.Tiers)),
 		limiter:   newLimiter(opts.RatePerSec, opts.Burst),
@@ -617,10 +646,53 @@ func (s *Server) pokePersist() {
 func (s *Server) persister() {
 	defer s.persistWG.Done()
 	for range s.persistCh {
-		if err := s.persistAll(); err != nil {
-			s.opts.Logf("serve: persist: %v", err)
-		}
+		s.persistOnce()
 	}
+}
+
+// retrySleep waits ns nanoseconds through the injected clock; a zero
+// Clock (After returns nil) retries immediately, keeping tests and
+// in-process chaos runs wallclock-free.
+func (s *Server) retrySleep(ns int64) {
+	if ch := s.clock.After(ns); ch != nil {
+		<-ch
+	}
+}
+
+// persistOnce is one persistence pass under the failure-degraded
+// contract: transient faults retry within PersistRetry's budget;
+// exhaustion flips persistence to degraded — the daemon keeps computing
+// and serving, it just stops promising durability — and each later poke
+// makes one cheap probe, so the first checkpoint that lands re-arms
+// full persistence.
+func (s *Server) persistOnce() {
+	policy := s.opts.PersistRetry
+	s.mu.Lock()
+	wasDegraded := s.persistDegraded
+	s.mu.Unlock()
+	if wasDegraded {
+		policy = backoff.Policy{Attempts: 1}
+	}
+	err := backoff.Retry(policy, s.retrySleep, s.persistAll)
+	s.mu.Lock()
+	s.persistDegraded = err != nil
+	s.mu.Unlock()
+	switch {
+	case err != nil && !wasDegraded:
+		s.opts.Logf("serve: persist: %v — persistence degraded, compute continues", err)
+	case err != nil:
+		s.opts.Logf("serve: persist still failing: %v", err)
+	case wasDegraded:
+		s.opts.Logf("serve: persist succeeded — persistence re-armed")
+	}
+}
+
+// PersistenceDegraded reports whether the persister has exhausted its
+// retries without a successful checkpoint since.
+func (s *Server) PersistenceDegraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistDegraded
 }
 
 // Drain stops the server gracefully: refuse new submissions, cancel
@@ -652,7 +724,9 @@ func (s *Server) Drain() {
 	s.wg.Wait()
 	close(s.persistCh)
 	s.persistWG.Wait()
-	if err := s.persistAll(); err != nil {
+	// The final checkpoint gets the full retry budget even when earlier
+	// passes degraded: this is the last chance to make the state durable.
+	if err := backoff.Retry(s.opts.PersistRetry, s.retrySleep, s.persistAll); err != nil {
 		s.opts.Logf("serve: final persist: %v", err)
 	}
 	close(s.drainCh)
@@ -694,13 +768,18 @@ type TierStats struct {
 
 // Health is the /healthz body.
 type Health struct {
-	// Status is "ok", "degraded" (shadow divergence detected) or
-	// "draining".
+	// Status is "ok", "degraded" (shadow divergence detected or
+	// persistence exhausted) or "draining".
 	Status          string   `json:"status"`
 	ThermalWarnings int64    `json:"thermal_warnings"`
 	ShadowChecked   int      `json:"shadow_checked"`
 	ShadowDiverged  int      `json:"shadow_diverged"`
 	Divergences     []string `json:"divergences,omitempty"`
+	// Persistence is "ok" while checkpoints are landing, "degraded"
+	// once the persister has exhausted its retries (compute continues;
+	// the next successful checkpoint re-arms it), and "disabled" when
+	// the daemon runs without a StatePath.
+	Persistence string `json:"persistence"`
 }
 
 // StatsSnapshot is the /statsz body.
@@ -731,7 +810,10 @@ func (s *Server) tierStats(t Tier) TierStats {
 // the status instead of crashing the daemon: cached state is suspect,
 // but already-verified results remain servable.
 func (s *Server) HealthSnapshot() Health {
-	h := Health{Status: "ok"}
+	h := Health{Status: "ok", Persistence: "ok"}
+	if s.opts.StatePath == "" {
+		h.Persistence = "disabled"
+	}
 	for _, t := range s.tiers {
 		ts := s.tierStats(t)
 		h.ThermalWarnings += ts.ThermalWarnings
@@ -741,6 +823,10 @@ func (s *Server) HealthSnapshot() Health {
 	}
 	if h.ShadowDiverged > 0 {
 		h.Status = "degraded"
+	}
+	if s.PersistenceDegraded() {
+		h.Status = "degraded"
+		h.Persistence = "degraded"
 	}
 	if s.Draining() {
 		h.Status = "draining"
